@@ -1,0 +1,31 @@
+// Shared workload configuration for the Section V reproduction benches.
+//
+// Every table bench runs on the same seed-stable 500-net testbench so rows
+// are directly comparable across binaries, exactly as the paper reuses its
+// 500 PowerPC nets across Tables I-IV.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "lib/buffer.hpp"
+#include "netgen/netgen.hpp"
+
+namespace nbuf::bench {
+
+inline netgen::TestbenchOptions paper_testbench_options() {
+  netgen::TestbenchOptions o;  // defaults already mirror Section V
+  o.net_count = 500;
+  o.seed = 9851;
+  return o;
+}
+
+inline std::vector<netgen::GeneratedNet> paper_testbench(
+    const lib::BufferLibrary& lib) {
+  std::fprintf(stderr, "[workload] generating 500-net testbench...\n");
+  auto nets = netgen::generate_testbench(lib, paper_testbench_options());
+  std::fprintf(stderr, "[workload] done.\n");
+  return nets;
+}
+
+}  // namespace nbuf::bench

@@ -1,0 +1,79 @@
+// Figure F-A: Theorem 1 behaviour — maximum noise-clean wire length as a
+// function of driver resistance, coupling ratio, downstream current, and the
+// eq. 17 aggressor-separation sweep. (The paper presents these relationships
+// analytically in Section III-A; this bench renders them as data series.)
+#include <cmath>
+#include <cstdio>
+
+#include "core/theory.hpp"
+#include "lib/technology.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nbuf;
+  using namespace nbuf::units;
+  const auto tech = lib::default_technology();
+  const double r = tech.wire_res_per_um;
+  const double c = tech.wire_cap_per_um;
+  const double mu = tech.aggressor_slope();
+  const double i = tech.coupling_current_per_um();
+
+  std::printf("== Fig F-A.1: critical length vs driver resistance "
+              "(NS = 0.8 V, I = 0) ==\n\n");
+  {
+    util::Table t({"R_drv (ohm)", "L_max (um)"});
+    for (double rd : {0.0, 25.0, 50.0, 100.0, 150.0, 250.0, 400.0, 800.0,
+                      1600.0}) {
+      const auto len = core::critical_length(rd, r, i, 0.8, 0.0);
+      t.add_row({util::Table::num(rd, 0), util::Table::num(*len, 0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("shape: monotonically decreasing; L_max(0) = "
+                "sqrt(2*NS/(r*i)) = %.0f um\n\n",
+                std::sqrt(2.0 * 0.8 / (r * i)));
+  }
+
+  std::printf("== Fig F-A.2: critical length vs coupling ratio lambda "
+              "(R_drv = 150 ohm) ==\n\n");
+  {
+    util::Table t({"lambda", "L_max (um)"});
+    for (double lam : {0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+      const auto len =
+          core::critical_length_coupling(150.0, r, c, lam, mu, 0.8, 0.0);
+      t.add_row({util::Table::num(lam, 1), util::Table::num(*len, 0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  std::printf("== Fig F-A.3: critical length vs downstream current "
+              "(R_drv = 150 ohm) ==\n\n");
+  {
+    util::Table t({"I_down (mA)", "L_max (um)", "note"});
+    for (double id : {0.0, 0.5, 1.0, 2.0, 4.0, 5.0, 5.4}) {
+      const auto len = core::critical_length(150.0, r, i, 0.8, id * mA);
+      if (len) {
+        t.add_row({util::Table::num(id, 1), util::Table::num(*len, 0), ""});
+      } else {
+        t.add_row({util::Table::num(id, 1), "-",
+                   "too late: NS < R_drv*I (Theorem 1 side condition)"});
+      }
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  std::printf("== Fig F-A.4: eq. 17 — required aggressor separation vs wire "
+              "length (lambda(d) = K/d, K = 0.42 um) ==\n\n");
+  {
+    util::Table t({"L (um)", "d_min (um)"});
+    for (double len : {500.0, 1000.0, 2000.0, 4000.0, 8000.0}) {
+      const auto d = core::required_separation(150.0, r, c, 0.42, mu, 0.8,
+                                               0.0, len);
+      t.add_row({util::Table::num(len, 0), util::Table::num(*d, 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    std::printf("shape: separation grows ~quadratically with length "
+                "(the r*L^2/2 term dominates)\n");
+  }
+  return 0;
+}

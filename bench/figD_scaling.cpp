@@ -1,0 +1,112 @@
+// Figure F-D: runtime scaling of the three algorithms (google-benchmark).
+//
+// Paper complexity claims: Algorithm 1 is O(n); Algorithms 2 and 3 are
+// O(n^2) worst case (Algorithm 2 typically linear since merge forks are
+// rare). The series below report wall time against the segmented node
+// count; complexity shows as the reported BigO fit.
+#include <benchmark/benchmark.h>
+
+#include "core/alg1_single_sink.hpp"
+#include "noise/devgan.hpp"
+#include "core/alg2_multi_sink.hpp"
+#include "core/vanginneken.hpp"
+#include "seg/segment.hpp"
+#include "steiner/builders.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+
+rct::Driver drv() { return rct::Driver{"d", 150.0, 30 * ps}; }
+
+rct::SinkInfo snk(const char* name = "s") {
+  rct::SinkInfo s;
+  s.name = name;
+  s.cap = 15.0 * fF;
+  s.noise_margin = 0.8;
+  s.required_arrival = 2.0 * ns;
+  return s;
+}
+
+const lib::BufferLibrary& library() {
+  static const lib::BufferLibrary l = lib::default_library();
+  return l;
+}
+
+void BM_Alg1_TwoPin(benchmark::State& state) {
+  // Net length scales with n; Algorithm 1 walks wires and places buffers
+  // continuously, so work scales with the number of wires after splitting.
+  const auto n = static_cast<double>(state.range(0));
+  auto t = steiner::make_two_pin(500.0 * n, drv(), snk(),
+                                 lib::default_technology());
+  seg::segment(t, {500.0});
+  for (auto _ : state) {
+    auto res = core::avoid_noise_single_sink(t, library());
+    benchmark::DoNotOptimize(res.buffer_count);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Alg1_TwoPin)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_Alg2_BalancedTree(benchmark::State& state) {
+  const auto depth = static_cast<int>(state.range(0));
+  auto t = steiner::make_balanced_tree(depth, 900.0, drv(), snk(),
+                                       lib::default_technology());
+  for (auto _ : state) {
+    auto res = core::avoid_noise_multi_sink(t, library());
+    benchmark::DoNotOptimize(res.buffer_count);
+  }
+  state.SetComplexityN(1 << depth);
+}
+BENCHMARK(BM_Alg2_BalancedTree)->DenseRange(2, 8)->Complexity();
+
+void BM_Alg3_BuffOpt(benchmark::State& state) {
+  const auto n = static_cast<double>(state.range(0));
+  auto t = steiner::make_two_pin(500.0 * n, drv(), snk(),
+                                 lib::default_technology());
+  seg::segment(t, {500.0});
+  core::VgOptions opt;
+  opt.noise_constraints = true;
+  opt.max_buffers = 24;
+  for (auto _ : state) {
+    auto res = core::optimize(t, library(), opt);
+    benchmark::DoNotOptimize(res.slack);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Alg3_BuffOpt)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_Alg3_DelayOpt(benchmark::State& state) {
+  const auto n = static_cast<double>(state.range(0));
+  auto t = steiner::make_two_pin(500.0 * n, drv(), snk(),
+                                 lib::default_technology());
+  seg::segment(t, {500.0});
+  core::VgOptions opt;
+  opt.noise_constraints = false;
+  opt.max_buffers = 24;
+  for (auto _ : state) {
+    auto res = core::optimize(t, library(), opt);
+    benchmark::DoNotOptimize(res.slack);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Alg3_DelayOpt)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_DevganMetric(benchmark::State& state) {
+  const auto n = static_cast<double>(state.range(0));
+  auto t = steiner::make_two_pin(500.0 * n, drv(), snk(),
+                                 lib::default_technology());
+  seg::segment(t, {500.0});
+  for (auto _ : state) {
+    auto rep = noise::analyze_unbuffered(t);
+    benchmark::DoNotOptimize(rep.worst_slack);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DevganMetric)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Figure F-F: robustness of the Devgan bound under realistic aggressor
+// models.
+//
+// The metric assumes the aggressor switches as an ideal ramp directly at
+// the coupling capacitance. Here the aggressor is a real RC line driven
+// through a finite driver resistance, simulated with full bidirectional
+// coupling in the dense MNA engine. The weaker the aggressor driver, the
+// slower the waveform that actually reaches the coupling caps, so the bound
+// only gains margin — exactly the conservatism direction Section II-B
+// argues. Part 2 sweeps the aggressor input rise time: the metric scales
+// linearly with slope (eq. 6) and must bound the simulated peak at every
+// point.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "noise/devgan.hpp"
+#include "sim/dense.hpp"
+#include "sim/golden.hpp"
+#include "steiner/builders.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+
+// Two identical coupled lines; victim quiet behind r_victim, aggressor
+// driven by a saturated ramp behind r_aggr. Returns peak |v| at the victim
+// far end.
+double coupled_lines_peak(double length, double r_victim, double r_aggr,
+                          double rise, int sections) {
+  const auto tech = lib::default_technology();
+  const double lam = tech.coupling_ratio;
+  sim::DenseCircuit c;
+  const auto v0 = c.add_nodes(sections + 1);  // victim chain
+  const auto a0 = c.add_nodes(sections + 1);  // aggressor chain
+  c.add_resistor(v0, 0, r_victim);
+  c.add_driven_node(a0, r_aggr, [rise, &tech](double t) {
+    return tech.vdd * std::clamp(t / rise, 0.0, 1.0);
+  });
+  const double r_sec = tech.wire_res(length) / sections;
+  const double c_sec = tech.wire_cap(length) / sections;
+  for (int s = 0; s < sections; ++s) {
+    c.add_resistor(v0 + s, v0 + s + 1, r_sec);
+    c.add_resistor(a0 + s, a0 + s + 1, r_sec);
+    for (int e = 0; e <= 1; ++e) {
+      const auto vn = v0 + s + e, an = a0 + s + e;
+      c.add_capacitor(vn, 0, (1 - lam) * c_sec / 2);
+      c.add_capacitor(an, 0, (1 - lam) * c_sec / 2);
+      c.add_capacitor(vn, an, lam * c_sec / 2);
+    }
+  }
+  c.add_capacitor(v0 + sections, 0, 15 * fF);  // victim sink pin
+  c.add_capacitor(a0 + sections, 0, 15 * fF);
+  const double tau =
+      (r_victim + tech.wire_res(length)) * (tech.wire_cap(length) + 30 * fF);
+  const auto res = c.transient(rise + 10 * tau, rise / 100.0);
+  return res.peak_abs[v0 + sections];
+}
+
+}  // namespace
+
+int main() {
+  const auto tech = lib::default_technology();
+  const double length = 3000.0;
+
+  // Devgan metric for the victim (independent of the aggressor's driver).
+  auto victim = steiner::make_two_pin(
+      length, rct::Driver{"d", 150.0, 30 * ps},
+      rct::SinkInfo{"s", 15 * fF, 0.0, 0.8, false, {}}, tech);
+  const double metric = noise::analyze_unbuffered(victim).sinks[0].noise;
+
+  std::printf("== Fig F-F.1: aggressor driven through a real RC line "
+              "(3 mm coupled pair) ==\n\n");
+  util::Table t({"R_aggressor (ohm)", "golden peak (V)", "metric (V)",
+                 "bound ratio"});
+  bool bound_holds = true;
+  double prev_peak = 1e9;
+  bool monotone = true;
+  for (double r_aggr : {1.0, 25.0, 75.0, 150.0, 400.0, 1000.0}) {
+    const double peak = coupled_lines_peak(length, 150.0, r_aggr,
+                                           tech.aggressor_rise, 12);
+    if (metric < peak) bound_holds = false;
+    if (peak > prev_peak + 1e-6) monotone = false;
+    prev_peak = peak;
+    t.add_row({util::Table::num(r_aggr, 0), util::Table::num(peak, 3),
+               util::Table::num(metric, 3),
+               util::Table::num(metric / peak, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf("bound holds at every aggressor strength -> %s; "
+              "weaker aggressor drivers only add margin -> %s\n\n",
+              bound_holds ? "HOLDS" : "BROKEN",
+              monotone ? "HOLDS" : "CHECK");
+
+  std::printf("== Fig F-F.2: aggressor input rise-time sweep (ideal "
+              "coupling, eq. 6 linear-in-slope) ==\n\n");
+  util::Table t2({"rise (ps)", "metric (V)", "golden peak (V)", "ratio"});
+  bool bound2 = true;
+  for (double rise : {100.0 * ps, 250.0 * ps, 500.0 * ps, 1000.0 * ps}) {
+    lib::Technology tech2 = tech;
+    tech2.aggressor_rise = rise;
+    auto v2 = steiner::make_two_pin(
+        length, rct::Driver{"d", 150.0, 30 * ps},
+        rct::SinkInfo{"s", 15 * fF, 0.0, 0.8, false, {}}, tech2);
+    const double m2 = noise::analyze_unbuffered(v2).sinks[0].noise;
+    const auto gopt = sim::golden_options_from(tech2);
+    const double g2 = sim::golden_analyze_unbuffered(v2, gopt).sinks[0].peak;
+    if (m2 < g2) bound2 = false;
+    t2.add_row({util::Table::num(rise / ps, 0), util::Table::num(m2, 3),
+                util::Table::num(g2, 3), util::Table::num(m2 / g2, 2)});
+  }
+  std::printf("%s\n", t2.render().c_str());
+  std::printf("metric scales ~linearly with slope and bounds simulation at "
+              "every rise time -> %s\n",
+              bound2 ? "HOLDS" : "BROKEN");
+  return bound_holds && bound2 ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Incremental what-if noise queries inside an interactive-style loop.
+//
+//   $ ./incremental_whatif
+//
+// A router-integration scenario (the paper's motivation for closed-form
+// metrics): given a violating net, scan every legal buffer site with O(1)
+// incremental queries — no re-analysis per candidate — and report which
+// single-buffer repairs work, then cross-check the chosen one against the
+// full analyzer. This is the query pattern iterative single-buffer methods
+// (Kannan et al.; Lin/Marek-Sadowska) run in their inner loop.
+#include <cstdio>
+
+#include "noise/devgan.hpp"
+#include "noise/incremental.hpp"
+#include "seg/segment.hpp"
+#include "steiner/builders.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace nbuf;
+  using namespace nbuf::units;
+
+  const lib::Technology tech = lib::default_technology();
+  const lib::BufferLibrary library = lib::default_library();
+
+  rct::SinkInfo sink;
+  sink.name = "rx";
+  sink.cap = 12.0 * fF;
+  sink.noise_margin = 0.8 * V;
+  rct::RoutingTree net = steiner::make_two_pin(
+      5000.0, rct::Driver{"tx", 200.0, 30 * ps}, sink, tech);
+  seg::segment(net, {250.0});  // 19 candidate sites
+
+  const auto before = noise::analyze_unbuffered(net);
+  std::printf("unbuffered: noise %.3f V vs 0.80 V margin (%s)\n",
+              before.sinks[0].noise,
+              before.clean() ? "clean" : "VIOLATION");
+
+  const noise::IncrementalNoise inc(net);
+  const auto& buf = library.at(library.strongest());
+  std::printf("\nscanning %zu sites with O(1) queries (buffer %s):\n",
+              net.node_count() - 2, buf.name.c_str());
+  std::printf("%-8s %-14s %-16s %-10s\n", "site", "I(v) (mA)",
+              "buffer-input (V)", "fixes?");
+  rct::NodeId chosen;
+  for (auto v : net.preorder()) {
+    const auto& n = net.node(v);
+    if (n.kind != rct::NodeKind::Internal || !n.buffer_allowed) continue;
+    const bool fixes =
+        inc.single_buffer_fixes(v, buf.resistance, buf.noise_margin);
+    std::printf("%-8u %-14.3f %-16.3f %s\n", v.value(),
+                inc.current(v) / mA,
+                inc.noise_with_subtree_decoupled(v, v),
+                fixes ? "yes" : "no");
+    if (fixes && !chosen.valid()) chosen = v;
+  }
+
+  if (!chosen.valid()) {
+    std::printf("\nno single-buffer fix exists on this net\n");
+    return 1;
+  }
+  rct::BufferAssignment a;
+  a.place(chosen, library.strongest());
+  const auto after = noise::analyze(net, a, library);
+  std::printf("\nplacing at site %u -> full re-analysis: %zu violation(s), "
+              "worst slack %+.3f V\n",
+              chosen.value(), after.violation_count, after.worst_slack);
+  return after.clean() ? 0 : 1;
+}

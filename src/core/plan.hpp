@@ -1,0 +1,87 @@
+// Candidate solution bookkeeping shared by Algorithms 2 and 3.
+//
+// Dynamic-programming candidates must each remember "the current solution
+// for the subtree" (the paper's M component) without copying buffer lists on
+// every merge. Following the paper's footnote 7, solutions are stored as an
+// immutable DAG of arena-allocated cells: a Buffer cell prepends one
+// placement, a Merge cell joins the solutions of two branches. The final
+// placement list is recovered by one DFS over the chosen candidate's DAG.
+//
+// A placement is (node, dist_above, type): a buffer `dist_above` µm up the
+// parent wire of `node` (0 = at the node itself — the only form Algorithm 3
+// emits, since it inserts at existing legal sites).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "lib/buffer.hpp"
+#include "rct/assignment.hpp"
+#include "rct/tree.hpp"
+
+namespace nbuf::core {
+
+struct PlannedBuffer {
+  rct::NodeId node;
+  double dist_above = 0.0;  // µm above `node` on its parent wire
+  lib::BufferId type;
+};
+
+// A wire-width choice (simultaneous wire sizing, Lillis et al. [18]):
+// the parent wire of `node` is realized at `width` (an index into a
+// WireWidthLibrary).
+struct PlannedWire {
+  rct::NodeId node;
+  std::size_t width = 0;
+};
+
+class PlanArena;
+
+// One immutable cell of a candidate's solution DAG.
+struct PlanCell {
+  enum class Kind { Buffer, Wire, Merge };
+  Kind kind = Kind::Buffer;
+  PlannedBuffer placement;       // valid for Buffer cells
+  PlannedWire wire;              // valid for Wire cells
+  const PlanCell* a = nullptr;   // previous solution / left branch
+  const PlanCell* b = nullptr;   // right branch (Merge only)
+};
+
+// Owns every PlanCell of one optimization run. Candidates hold raw pointers
+// into the arena, which must outlive them.
+class PlanArena {
+ public:
+  // Solution `prev` extended with one placement.
+  const PlanCell* buffer(const PlanCell* prev, PlannedBuffer placement);
+  // Solution `prev` extended with one wire-width choice.
+  const PlanCell* wire(const PlanCell* prev, PlannedWire choice);
+  // Union of two branch solutions (either may be null).
+  const PlanCell* merge(const PlanCell* left, const PlanCell* right);
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+
+ private:
+  std::deque<PlanCell> cells_;  // deque: stable addresses across growth
+};
+
+// All placements reachable from `plan` (null = empty solution).
+[[nodiscard]] std::vector<PlannedBuffer> collect(const PlanCell* plan);
+
+// All wire-width choices reachable from `plan`.
+[[nodiscard]] std::vector<PlannedWire> collect_wires(const PlanCell* plan);
+
+// Number of placements reachable from `plan`.
+[[nodiscard]] std::size_t plan_size(const PlanCell* plan);
+
+// Materializes a plan onto `tree`: splits wires where dist_above > 0
+// (grouping multiple buffers per wire) and fills `out` with the final
+// node -> buffer assignment. When `allow_any_site` is set (Algorithms 1/2,
+// which place buffers at arbitrary positions), target nodes are marked as
+// legal buffer sites first; Algorithm 3 leaves it false so that placements
+// on illegal sites fail validation.
+void apply_plan(rct::RoutingTree& tree, const std::vector<PlannedBuffer>& plan,
+                rct::BufferAssignment& out, bool allow_any_site = false);
+
+}  // namespace nbuf::core

@@ -1,0 +1,65 @@
+#include "core/theory.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace nbuf::core {
+
+double uniform_wire_noise(double r_drv, double r_per_um, double i_per_um,
+                          double length, double i_downstream) {
+  NBUF_EXPECTS(length >= 0.0);
+  return r_drv * (i_per_um * length + i_downstream) +
+         r_per_um * length * (i_per_um * length / 2.0 + i_downstream);
+}
+
+std::optional<double> critical_length(double r_drv, double r_per_um,
+                                      double i_per_um, double noise_slack,
+                                      double i_downstream) {
+  NBUF_EXPECTS(r_drv >= 0.0);
+  NBUF_EXPECTS(r_per_um >= 0.0);
+  NBUF_EXPECTS(i_per_um >= 0.0);
+  NBUF_EXPECTS(i_downstream >= 0.0);
+  const double budget = noise_slack - r_drv * i_downstream;
+  if (budget < 0.0) return std::nullopt;  // Theorem 1's side condition
+
+  // noise(L) = (r*i/2) L^2 + (R*i + r*I) L + R*I <= NS.
+  const double a = r_per_um * i_per_um / 2.0;
+  const double b = r_drv * i_per_um + r_per_um * i_downstream;
+  if (a <= 0.0) {
+    if (b <= 0.0) return std::numeric_limits<double>::infinity();
+    return budget / b;  // linear case (e.g. zero wire resistance or current)
+  }
+  // Positive root of a L^2 + b L - budget = 0.
+  return (-b + std::sqrt(b * b + 4.0 * a * budget)) / (2.0 * a);
+}
+
+std::optional<double> critical_length_coupling(double r_drv, double r_per_um,
+                                               double c_per_um, double lambda,
+                                               double mu, double noise_slack,
+                                               double i_downstream) {
+  NBUF_EXPECTS(c_per_um >= 0.0);
+  NBUF_EXPECTS(lambda >= 0.0);
+  NBUF_EXPECTS(mu >= 0.0);
+  return critical_length(r_drv, r_per_um, lambda * c_per_um * mu,
+                         noise_slack, i_downstream);
+}
+
+std::optional<double> required_separation(double r_drv, double r_per_um,
+                                          double c_per_um, double coupling_k,
+                                          double mu, double noise_slack,
+                                          double i_downstream, double length) {
+  NBUF_EXPECTS(coupling_k > 0.0);
+  NBUF_EXPECTS(length > 0.0);
+  // With lambda(d) = K/d:
+  //   noise = (K/d)*c*mu*(R*L + r*L^2/2) + (R + r*L)*I <= NS
+  const double resistive = (r_drv + r_per_um * length) * i_downstream;
+  const double margin = noise_slack - resistive;
+  if (margin <= 0.0) return std::nullopt;
+  const double coupled =
+      c_per_um * mu * (r_drv * length + r_per_um * length * length / 2.0);
+  return coupling_k * coupled / margin;
+}
+
+}  // namespace nbuf::core

@@ -1,0 +1,44 @@
+// Analytic results of Section III-A: Theorem 1 (maximum unbuffered wire
+// length), its per-unit-capacitance form (eq. 16), and the required
+// aggressor separation distance (eq. 17).
+#pragma once
+
+#include <optional>
+
+namespace nbuf::core {
+
+// Devgan noise at the bottom of a uniform wire of length L (µm) with
+// per-unit resistance r (ohm/µm) and per-unit injected current i (A/µm),
+// driven by a gate of resistance R_drv (ohm), above a subtree carrying
+// downstream current I (A):
+//   noise(L) = R_drv*(i*L + I) + r*L*(i*L/2 + I)
+[[nodiscard]] double uniform_wire_noise(double r_drv, double r_per_um,
+                                        double i_per_um, double length,
+                                        double i_downstream);
+
+// Theorem 1: the longest wire the buffer can drive without the noise at the
+// wire's bottom exceeding the noise slack NS (volt) there. Returns nullopt
+// when NS < R_drv * I (too late: a buffer was needed strictly below), and
+// +infinity when nothing limits the length (zero injected current and zero
+// downstream current).
+[[nodiscard]] std::optional<double> critical_length(double r_drv,
+                                                    double r_per_um,
+                                                    double i_per_um,
+                                                    double noise_slack,
+                                                    double i_downstream);
+
+// Eq. 16 form: injected current expressed through the coupling ratio,
+// i = lambda * c * mu with c in F/µm and mu in V/s.
+[[nodiscard]] std::optional<double> critical_length_coupling(
+    double r_drv, double r_per_um, double c_per_um, double lambda, double mu,
+    double noise_slack, double i_downstream);
+
+// Eq. 17: minimum aggressor separation distance for a wire of length L to
+// be noise-clean, under the geometric coupling model lambda(d) = K / d.
+// Returns nullopt when the resistive terms alone already violate the slack
+// (no separation can help).
+[[nodiscard]] std::optional<double> required_separation(
+    double r_drv, double r_per_um, double c_per_um, double coupling_k,
+    double mu, double noise_slack, double i_downstream, double length);
+
+}  // namespace nbuf::core

@@ -1,0 +1,42 @@
+#include "core/tool.hpp"
+
+#include <chrono>
+
+namespace nbuf::core {
+
+ToolResult run(const rct::RoutingTree& input, const lib::BufferLibrary& lib,
+               const ToolOptions& options) {
+  ToolResult r{input, {}, {}, {}, {}, {}, 0.0};
+  r.tree.binarize();
+  seg::segment(r.tree, options.segmenting);
+
+  r.noise_before = noise::analyze_unbuffered(r.tree);
+  r.timing_before = elmore::analyze_unbuffered(r.tree);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  r.vg = optimize(r.tree, lib, options.vg);
+  const auto t1 = std::chrono::steady_clock::now();
+  r.optimize_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  r.noise_after = noise::analyze(r.tree, r.vg.buffers, lib);
+  r.timing_after = elmore::analyze(r.tree, r.vg.buffers, lib);
+  return r;
+}
+
+ToolResult run_buffopt(const rct::RoutingTree& input,
+                       const lib::BufferLibrary& lib, ToolOptions options) {
+  options.vg.noise_constraints = true;
+  options.vg.objective = VgObjective::MinBuffersMeetingConstraints;
+  return run(input, lib, options);
+}
+
+ToolResult run_delayopt(const rct::RoutingTree& input,
+                        const lib::BufferLibrary& lib,
+                        std::size_t max_buffers, ToolOptions options) {
+  options.vg.noise_constraints = false;
+  options.vg.objective = VgObjective::MaxSlack;
+  options.vg.max_buffers = max_buffers;
+  return run(input, lib, options);
+}
+
+}  // namespace nbuf::core

@@ -1,0 +1,48 @@
+// End-to-end drivers: what Section V actually ran per net.
+//
+// BuffOpt = segment wires -> Algorithm 3 (noise-constrained Van Ginneken,
+// count-indexed) -> evaluate noise and timing on the result.
+// DelayOpt = the same pipeline with noise checks disabled (the paper's
+// delay-only baseline [1],[18]); DelayOpt(k) caps the buffer count at k.
+#pragma once
+
+#include "core/vanginneken.hpp"
+#include "elmore/elmore.hpp"
+#include "noise/devgan.hpp"
+#include "seg/segment.hpp"
+
+namespace nbuf::core {
+
+struct ToolOptions {
+  seg::Options segmenting{/*max_segment_length=*/500.0};  // µm
+  VgOptions vg;
+};
+
+struct ToolResult {
+  rct::RoutingTree tree;  // segmented working copy the assignment refers to
+  VgResult vg;
+  noise::NoiseReport noise_before;
+  noise::NoiseReport noise_after;
+  elmore::TimingReport timing_before;
+  elmore::TimingReport timing_after;
+  double optimize_seconds = 0.0;  // DP time only (segmenting excluded)
+};
+
+// Runs the configured Van Ginneken variant on a segmented copy of `input`.
+[[nodiscard]] ToolResult run(const rct::RoutingTree& input,
+                             const lib::BufferLibrary& lib,
+                             const ToolOptions& options);
+
+// BuffOpt with the paper's Problem-3 objective: fewest buffers meeting both
+// noise and timing, best slack as tiebreak.
+[[nodiscard]] ToolResult run_buffopt(const rct::RoutingTree& input,
+                                     const lib::BufferLibrary& lib,
+                                     ToolOptions options = {});
+
+// DelayOpt(k): delay-only optimization with at most `max_buffers` buffers.
+[[nodiscard]] ToolResult run_delayopt(const rct::RoutingTree& input,
+                                      const lib::BufferLibrary& lib,
+                                      std::size_t max_buffers,
+                                      ToolOptions options = {});
+
+}  // namespace nbuf::core

@@ -1,0 +1,117 @@
+#include "elmore/elmore.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace nbuf::elmore {
+
+namespace {
+
+// True if `id` is a leaf of this stage (buffer input boundary); such nodes'
+// tree children belong to the next stage.
+bool is_stage_boundary(const rct::Stage& stage, rct::NodeId id) {
+  return std::any_of(stage.sinks.begin(), stage.sinks.end(),
+                     [&](const rct::StageSink& s) {
+                       return s.node == id && s.is_buffer_input;
+                     });
+}
+
+}  // namespace
+
+std::unordered_map<rct::NodeId, double> stage_loads(
+    const rct::RoutingTree& tree, const rct::Stage& stage) {
+  std::unordered_map<rct::NodeId, double> load;
+  load.reserve(stage.nodes.size());
+  // Pin caps at stage leaves.
+  for (const rct::StageSink& s : stage.sinks) load[s.node] = s.cap;
+  // stage.nodes is preorder; walk it in reverse for a postorder sweep.
+  for (auto it = stage.nodes.rbegin(); it != stage.nodes.rend(); ++it) {
+    const rct::NodeId id = *it;
+    if (load.count(id) && is_stage_boundary(stage, id)) continue;
+    double c = load.count(id) ? load[id] : 0.0;
+    if (!is_stage_boundary(stage, id)) {
+      for (rct::NodeId child : tree.node(id).children) {
+        auto lc = load.find(child);
+        if (lc == load.end()) continue;  // child outside the stage
+        c += lc->second + tree.node(child).parent_wire.capacitance;
+      }
+    }
+    load[id] = c;
+  }
+  return load;
+}
+
+std::unordered_map<rct::NodeId, double> stage_wire_delays(
+    const rct::RoutingTree& tree, const rct::Stage& stage) {
+  const auto load = stage_loads(tree, stage);
+  std::unordered_map<rct::NodeId, double> delay;
+  delay.reserve(stage.nodes.size());
+  delay[stage.root] = 0.0;
+  // Preorder guarantees the parent's delay is known first.
+  for (rct::NodeId id : stage.nodes) {
+    if (id == stage.root) continue;
+    const rct::Node& n = tree.node(id);
+    const rct::Wire& w = n.parent_wire;
+    auto pd = delay.find(n.parent);
+    NBUF_ASSERT_MSG(pd != delay.end(), "stage nodes must be preorder");
+    delay[id] =
+        pd->second + w.resistance * (w.capacitance / 2.0 + load.at(id));
+  }
+  return delay;
+}
+
+TimingReport analyze(const rct::RoutingTree& tree,
+                     const rct::BufferAssignment& buffers,
+                     const lib::BufferLibrary& lib) {
+  const auto stages = rct::decompose(tree, buffers, lib);
+
+  // Arrival time at each stage root's gate *output*.
+  std::unordered_map<rct::NodeId, double> root_arrival;
+
+  TimingReport report;
+  report.sinks.resize(tree.sink_count());
+  report.max_delay = 0.0;
+  report.worst_slack = std::numeric_limits<double>::infinity();
+
+  for (const rct::Stage& st : stages) {
+    const auto load = stage_loads(tree, st);
+    const auto wire_delay = stage_wire_delays(tree, st);
+
+    double in_arrival = 0.0;  // arrival at the driving gate's input
+    if (!st.driven_by_source) {
+      auto it = root_arrival.find(st.root);
+      NBUF_ASSERT_MSG(it != root_arrival.end(),
+                      "stages must come root-first");
+      in_arrival = it->second;
+    }
+    const double out_arrival = in_arrival + st.driver_intrinsic_delay +
+                               st.driver_resistance * load.at(st.root);
+
+    for (const rct::StageSink& s : st.sinks) {
+      const double t = out_arrival + wire_delay.at(s.node);
+      if (s.is_buffer_input) {
+        root_arrival[s.node] = t;
+      } else {
+        const rct::SinkInfo& si = tree.sink(s.sink);
+        SinkTiming st_out;
+        st_out.sink = s.sink;
+        st_out.delay = t;
+        st_out.slack = si.required_arrival - t;
+        report.sinks[s.sink.value()] = st_out;
+        report.max_delay = std::max(report.max_delay, t);
+        report.worst_slack = std::min(report.worst_slack, st_out.slack);
+      }
+    }
+  }
+  NBUF_ASSERT(!report.sinks.empty());
+  return report;
+}
+
+TimingReport analyze_unbuffered(const rct::RoutingTree& tree) {
+  static const lib::BufferLibrary empty_lib;
+  return analyze(tree, rct::BufferAssignment{}, empty_lib);
+}
+
+}  // namespace nbuf::elmore

@@ -1,0 +1,51 @@
+// Elmore delay engine (Section II-A).
+//
+// Interconnect delay uses the Elmore model: a wire w = (u,v) contributes
+//   Delay(w) = R_w * (C_w / 2 + C(v))                              (eq. 2)
+// where C(v) is the lumped downstream capacitance (eq. 1); a gate g driving
+// load C uses the linear model
+//   Delay(g) = D_g + R_g * C                                       (eq. 3)
+// and the source-to-sink delay is the sum over the path of gate and wire
+// delays (eq. 4). Buffers cut the tree into stages (rct::decompose); the
+// load seen by a stage's driver stops at downstream buffer inputs.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rct/stage.hpp"
+
+namespace nbuf::elmore {
+
+struct SinkTiming {
+  rct::SinkId sink;
+  double delay = 0.0;  // second — Delay(so -> si) including all gate delays
+  double slack = 0.0;  // second — RAT(si) - delay
+};
+
+struct TimingReport {
+  std::vector<SinkTiming> sinks;  // indexed by SinkId value
+  double max_delay = 0.0;
+  double worst_slack = 0.0;  // q(so): min over sinks of RAT - delay
+};
+
+// Stage-local downstream capacitance for every node of `stage` (eq. 1 with
+// buffers cutting the subtree). Keyed by node id.
+[[nodiscard]] std::unordered_map<rct::NodeId, double> stage_loads(
+    const rct::RoutingTree& tree, const rct::Stage& stage);
+
+// Wire-only Elmore delay from the stage root to each node of the stage
+// (excludes the driver's gate delay). Keyed by node id.
+[[nodiscard]] std::unordered_map<rct::NodeId, double> stage_wire_delays(
+    const rct::RoutingTree& tree, const rct::Stage& stage);
+
+// Full timing of a buffered tree: per-sink Elmore delay through all stages,
+// slacks against the sinks' required arrival times.
+[[nodiscard]] TimingReport analyze(const rct::RoutingTree& tree,
+                                   const rct::BufferAssignment& buffers,
+                                   const lib::BufferLibrary& lib);
+
+// Convenience: timing of the unbuffered tree.
+[[nodiscard]] TimingReport analyze_unbuffered(const rct::RoutingTree& tree);
+
+}  // namespace nbuf::elmore

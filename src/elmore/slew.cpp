@@ -1,0 +1,33 @@
+#include "elmore/slew.hpp"
+
+#include <algorithm>
+
+#include "elmore/elmore.hpp"
+
+namespace nbuf::elmore {
+
+SlewReport slews(const rct::RoutingTree& tree,
+                 const rct::BufferAssignment& buffers,
+                 const lib::BufferLibrary& lib) {
+  const auto stages = rct::decompose(tree, buffers, lib);
+  SlewReport report;
+  report.sinks.resize(tree.sink_count());
+  for (const rct::Stage& st : stages) {
+    const auto load = stage_loads(tree, st);
+    const auto wire_delay = stage_wire_delays(tree, st);
+    const double gate_term = st.driver_resistance * load.at(st.root);
+    for (const rct::StageSink& s : st.sinks) {
+      LeafSlew ls;
+      ls.node = s.node;
+      ls.is_buffer_input = s.is_buffer_input;
+      ls.sink = s.sink;
+      ls.slew = kSlewFactor * (gate_term + wire_delay.at(s.node));
+      report.leaves.push_back(ls);
+      if (!s.is_buffer_input) report.sinks[s.sink.value()] = ls;
+      report.max_slew = std::max(report.max_slew, ls.slew);
+    }
+  }
+  return report;
+}
+
+}  // namespace nbuf::elmore

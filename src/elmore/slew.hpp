@@ -1,0 +1,40 @@
+// Transition-time (slew) estimation on buffered trees.
+//
+// Model: within one stage, the 10-90% transition at a leaf is approximated
+// by the saturated-ramp response of the dominant pole,
+//   slew(leaf) = ln 9 * ( R_gate * C_stage + Elmore(root -> leaf) )
+// i.e. the same additive quantities the delay engine uses, scaled by
+// ln 9 ≈ 2.197. Buffers restore edges, so slew never propagates across a
+// stage boundary (matching how the noise metric treats restoring gates).
+// This is the classic single-pole/PERI-style estimate: simple, additive,
+// conservative for far leaves — the properties the Van Ginneken DP needs to
+// enforce max-slew constraints bottom-up (see VgOptions::max_slew).
+#pragma once
+
+#include <vector>
+
+#include "rct/stage.hpp"
+
+namespace nbuf::elmore {
+
+inline constexpr double kSlewFactor = 2.1972245773362196;  // ln 9
+
+struct LeafSlew {
+  rct::NodeId node;
+  bool is_buffer_input = false;
+  rct::SinkId sink;    // valid iff !is_buffer_input
+  double slew = 0.0;   // second — 10-90% transition estimate at the leaf
+};
+
+struct SlewReport {
+  std::vector<LeafSlew> leaves;  // every stage leaf
+  std::vector<LeafSlew> sinks;   // true sinks, indexed by SinkId
+  double max_slew = 0.0;         // worst leaf anywhere
+};
+
+// Per-leaf slew estimates for every stage of tree+buffers.
+[[nodiscard]] SlewReport slews(const rct::RoutingTree& tree,
+                               const rct::BufferAssignment& buffers,
+                               const lib::BufferLibrary& lib);
+
+}  // namespace nbuf::elmore

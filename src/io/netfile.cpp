@@ -1,0 +1,303 @@
+#include "io/netfile.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace nbuf::io {
+
+using namespace nbuf::units;
+
+ParseError::ParseError(std::size_t line, const std::string& message)
+    : std::runtime_error("line " + std::to_string(line) + ": " + message),
+      line_(line) {}
+
+namespace {
+
+struct Parser {
+  const lib::BufferLibrary& library;
+  NetFile out;
+  std::map<std::string, rct::NodeId> nodes_by_name;
+  std::map<std::string, lib::BufferId> buffers_by_name;
+  bool have_driver = false;
+  std::size_t lineno = 0;
+
+  explicit Parser(const lib::BufferLibrary& l) : library(l) {
+    for (lib::BufferId id : l.ids())
+      buffers_by_name.emplace(l.at(id).name, id);
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError(lineno, msg);
+  }
+
+  double num(std::istringstream& ss, const char* what) {
+    double v = 0.0;
+    if (!(ss >> v)) fail(std::string("expected number for ") + what);
+    return v;
+  }
+
+  std::string word(std::istringstream& ss, const char* what) {
+    std::string w;
+    if (!(ss >> w)) fail(std::string("expected ") + what);
+    return w;
+  }
+
+  rct::NodeId parent_of(const std::string& name) {
+    if (name == "source") return out.tree.source();
+    auto it = nodes_by_name.find(name);
+    if (it == nodes_by_name.end()) fail("unknown parent '" + name + "'");
+    return it->second;
+  }
+
+  void check_fresh_name(const std::string& name) {
+    if (name == "source" || nodes_by_name.count(name))
+      fail("duplicate node name '" + name + "'");
+  }
+
+  rct::Wire wire_from(std::istringstream& ss, double len) {
+    rct::Wire w;
+    w.length = len;
+    double r = 0.0;
+    if (ss >> r) {
+      // Explicit electricals.
+      w.resistance = r;
+      w.capacitance = num(ss, "wire capacitance (fF)") * fF;
+      w.coupling_current = num(ss, "coupling current (uA)") * uA;
+    } else {
+      if (!out.tech) fail("no `tech` line before implicit wire electricals");
+      w.resistance = out.tech->wire_res(len);
+      w.capacitance = out.tech->wire_cap(len);
+      w.coupling_current = out.tech->wire_coupling_current(len);
+    }
+    if (w.resistance < 0.0 || w.capacitance < 0.0 ||
+        w.coupling_current < 0.0 || w.length < 0.0)
+      fail("negative wire electricals");
+    return w;
+  }
+
+  void line_tech(std::istringstream& ss) {
+    lib::Technology t;
+    t.wire_res_per_um = num(ss, "r (ohm/um)");
+    t.wire_cap_per_um = num(ss, "c (fF/um)") * fF;
+    t.vdd = num(ss, "vdd (V)");
+    t.aggressor_rise = num(ss, "aggressor rise (ps)") * ps;
+    t.coupling_ratio = num(ss, "lambda");
+    try {
+      t.validate();
+    } catch (const std::invalid_argument& e) {
+      fail(std::string("bad tech line: ") + e.what());
+    }
+    out.tech = t;
+  }
+
+  void line_driver(std::istringstream& ss) {
+    if (have_driver) fail("duplicate driver line");
+    rct::Driver d;
+    d.name = word(ss, "driver name");
+    d.resistance = num(ss, "driver resistance (ohm)");
+    d.intrinsic_delay = num(ss, "driver intrinsic delay (ps)") * ps;
+    if (d.resistance <= 0.0) fail("driver resistance must be positive");
+    out.tree.make_source(d, "source");
+    have_driver = true;
+  }
+
+  void require_driver() {
+    if (!have_driver) fail("driver line must precede nodes and sinks");
+  }
+
+  void line_node(std::istringstream& ss) {
+    require_driver();
+    const std::string name = word(ss, "node name");
+    check_fresh_name(name);
+    const rct::NodeId parent = parent_of(word(ss, "parent name"));
+    const double len = num(ss, "length (um)");
+    const rct::Wire w = wire_from(ss, len);
+    nodes_by_name[name] = out.tree.add_internal(parent, w, name);
+  }
+
+  void line_sink(std::istringstream& ss) {
+    require_driver();
+    const std::string name = word(ss, "sink name");
+    check_fresh_name(name);
+    const rct::NodeId parent = parent_of(word(ss, "parent name"));
+    const double len = num(ss, "length (um)");
+    rct::SinkInfo s;
+    s.name = name;
+    s.cap = num(ss, "sink capacitance (fF)") * fF;
+    s.required_arrival = num(ss, "RAT (ps)") * ps;
+    s.noise_margin = num(ss, "noise margin (V)");
+    // Optional trailing: explicit wire electricals (3 numbers) and/or the
+    // `inverted` flag, in any order.
+    std::vector<double> extra;
+    bool inverted = false;
+    std::string tok;
+    while (ss >> tok) {
+      if (tok == "inverted") {
+        inverted = true;
+        continue;
+      }
+      try {
+        std::size_t used = 0;
+        extra.push_back(std::stod(tok, &used));
+        if (used != tok.size()) fail("bad trailing token '" + tok + "'");
+      } catch (const std::invalid_argument&) {
+        fail("unexpected trailing token '" + tok + "'");
+      }
+    }
+    s.require_inverted = inverted;
+    rct::Wire w;
+    w.length = len;
+    if (extra.size() == 3) {
+      w.resistance = extra[0];
+      w.capacitance = extra[1] * fF;
+      w.coupling_current = extra[2] * uA;
+    } else if (extra.empty()) {
+      if (!out.tech) fail("no `tech` line before a sink");
+      w.resistance = out.tech->wire_res(len);
+      w.capacitance = out.tech->wire_cap(len);
+      w.coupling_current = out.tech->wire_coupling_current(len);
+    } else {
+      fail("sink wire electricals need exactly 3 numbers (ohm, fF, uA)");
+    }
+    if (w.resistance < 0.0 || w.capacitance < 0.0 ||
+        w.coupling_current < 0.0)
+      fail("negative wire electricals");
+    if (s.cap < 0.0) fail("negative sink capacitance");
+    if (s.noise_margin <= 0.0) fail("noise margin must be positive");
+    nodes_by_name[name] = out.tree.add_sink(parent, w, s);
+  }
+
+  void line_buffer(std::istringstream& ss) {
+    require_driver();
+    const std::string node = word(ss, "node name");
+    const std::string type = word(ss, "buffer type name");
+    auto nit = nodes_by_name.find(node);
+    if (nit == nodes_by_name.end()) fail("unknown node '" + node + "'");
+    auto bit = buffers_by_name.find(type);
+    if (bit == buffers_by_name.end())
+      fail("unknown buffer type '" + type + "'");
+    out.buffers.place(nit->second, bit->second);
+  }
+
+  void line_name(std::istringstream& ss) {
+    out.name = word(ss, "net name");
+  }
+};
+
+}  // namespace
+
+NetFile read_net(std::istream& in, const lib::BufferLibrary& library) {
+  Parser p(library);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++p.lineno;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ss(raw);
+    std::string keyword;
+    if (!(ss >> keyword)) continue;  // blank / comment-only
+    if (keyword == "name") {
+      p.line_name(ss);
+    } else if (keyword == "tech") {
+      p.line_tech(ss);
+    } else if (keyword == "driver") {
+      p.line_driver(ss);
+    } else if (keyword == "node") {
+      p.line_node(ss);
+    } else if (keyword == "sink") {
+      p.line_sink(ss);
+    } else if (keyword == "buffer") {
+      p.line_buffer(ss);
+    } else {
+      p.fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!p.have_driver) throw ParseError(p.lineno, "file has no driver line");
+  if (p.out.tree.sink_count() == 0)
+    throw ParseError(p.lineno, "net has no sinks");
+  p.out.tree.validate();
+  p.out.buffers.validate(p.out.tree, library);
+  return std::move(p.out);
+}
+
+NetFile read_net_file(const std::string& path,
+                      const lib::BufferLibrary& library) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  return read_net(in, library);
+}
+
+void write_net(std::ostream& out, const std::string& name,
+               const rct::RoutingTree& tree,
+               const rct::BufferAssignment& buffers,
+               const lib::BufferLibrary& library) {
+  out << std::setprecision(17);  // exact double round-trip
+  out << "# nbuf net description (units: um, ohm, fF, ps, V, uA)\n";
+  if (!name.empty()) out << "name " << name << '\n';
+  const rct::Driver& d = tree.driver();
+  out << "driver " << (d.name.empty() ? "drv" : d.name) << ' '
+      << d.resistance << ' ' << d.intrinsic_delay / ps << '\n';
+
+  // Stable generated names for anonymous nodes.
+  std::map<rct::NodeId, std::string> names;
+  names[tree.source()] = "source";
+  std::size_t counter = 0;
+  auto name_of = [&](rct::NodeId id) -> const std::string& {
+    auto it = names.find(id);
+    if (it != names.end()) return it->second;
+    const rct::Node& n = tree.node(id);
+    std::string candidate = n.name;
+    if (candidate.empty() || candidate == "source")
+      candidate = "n" + std::to_string(counter);
+    while (true) {
+      bool clash = false;
+      for (const auto& [nid, nm] : names)
+        if (nm == candidate) clash = true;
+      if (!clash) break;
+      candidate = "n" + std::to_string(counter++) + "_" + candidate;
+    }
+    ++counter;
+    return names.emplace(id, std::move(candidate)).first->second;
+  };
+
+  for (rct::NodeId id : tree.preorder()) {
+    if (id == tree.source()) continue;
+    const rct::Node& n = tree.node(id);
+    const rct::Wire& w = n.parent_wire;
+    const std::string& nm = name_of(id);
+    const std::string& pn = name_of(n.parent);
+    if (n.kind == rct::NodeKind::Sink) {
+      const rct::SinkInfo& s = tree.sink(n.sink);
+      out << "sink " << nm << ' ' << pn << ' ' << w.length << ' '
+          << s.cap / fF << ' ' << s.required_arrival / ps << ' '
+          << s.noise_margin << ' ' << w.resistance << ' '
+          << w.capacitance / fF << ' ' << w.coupling_current / uA;
+      if (s.require_inverted) out << " inverted";
+      out << '\n';
+    } else {
+      out << "node " << nm << ' ' << pn << ' ' << w.length << ' '
+          << w.resistance << ' ' << w.capacitance / fF << ' '
+          << w.coupling_current / uA << '\n';
+    }
+  }
+  for (const auto& [node, type] : buffers.entries())
+    out << "buffer " << name_of(node) << ' ' << library.at(type).name
+        << '\n';
+}
+
+void write_net_file(const std::string& path, const std::string& name,
+                    const rct::RoutingTree& tree,
+                    const rct::BufferAssignment& buffers,
+                    const lib::BufferLibrary& library) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for write");
+  write_net(out, name, tree, buffers, library);
+}
+
+}  // namespace nbuf::io

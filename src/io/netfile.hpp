@@ -1,0 +1,70 @@
+// Plain-text net description files (".net") — the interchange format of the
+// nbuf_cli tool.
+//
+// Line-oriented, '#' starts a comment, blank lines ignored. Units inside
+// files are the conventional EDA ones (converted to SI on load):
+//   length µm · resistance ohm · capacitance fF · time ps · voltage V ·
+//   current µA
+//
+//   name    <net-name>                         (optional, once)
+//   tech    <r_ohm_per_um> <c_ff_per_um> <vdd_v> <agg_rise_ps> <lambda>
+//   driver  <name> <res_ohm> <intrinsic_ps>    (required, once, first)
+//   node    <name> <parent> <len_um> [<res_ohm> <cap_ff> <i_ua>]
+//   sink    <name> <parent> <len_um> <cap_ff> <rat_ps> <nm_v> [inverted]
+//   buffer  <node-name> <buffer-type-name>     (a placed solution)
+//
+// `parent` is "source" or a previously declared node name. When a node/sink
+// omits explicit electricals, they derive from the `tech` line (which must
+// then appear earlier); estimation-mode coupling current is applied.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "lib/buffer.hpp"
+#include "lib/technology.hpp"
+#include "rct/assignment.hpp"
+#include "rct/tree.hpp"
+
+namespace nbuf::io {
+
+// Thrown on malformed input; what() carries the 1-based line number.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& message);
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct NetFile {
+  std::string name;
+  rct::RoutingTree tree;
+  std::optional<lib::Technology> tech;
+  // Buffer placements named in the file; resolved against the library given
+  // to read_net (placements naming unknown buffer types throw).
+  rct::BufferAssignment buffers;
+};
+
+// Parses a net description. `library` resolves `buffer` lines (pass an
+// empty library if the file has none).
+[[nodiscard]] NetFile read_net(std::istream& in,
+                               const lib::BufferLibrary& library);
+[[nodiscard]] NetFile read_net_file(const std::string& path,
+                                    const lib::BufferLibrary& library);
+
+// Serializes tree (+ solution) in the same format; read_net(write_net(x))
+// reproduces the electrical tree exactly. Nodes with empty names get
+// generated ones.
+void write_net(std::ostream& out, const std::string& name,
+               const rct::RoutingTree& tree,
+               const rct::BufferAssignment& buffers,
+               const lib::BufferLibrary& library);
+void write_net_file(const std::string& path, const std::string& name,
+                    const rct::RoutingTree& tree,
+                    const rct::BufferAssignment& buffers,
+                    const lib::BufferLibrary& library);
+
+}  // namespace nbuf::io

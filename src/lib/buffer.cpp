@@ -1,0 +1,90 @@
+#include "lib/buffer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace nbuf::lib {
+
+BufferLibrary::BufferLibrary(std::vector<BufferType> types) {
+  for (auto& t : types) add(std::move(t));
+}
+
+BufferId BufferLibrary::add(BufferType type) {
+  NBUF_EXPECTS_MSG(!type.name.empty(), "buffer type needs a name");
+  NBUF_EXPECTS(type.resistance > 0.0);
+  NBUF_EXPECTS(type.input_cap > 0.0);
+  NBUF_EXPECTS(type.intrinsic_delay >= 0.0);
+  NBUF_EXPECTS(type.noise_margin > 0.0);
+  for (const auto& existing : types_)
+    NBUF_EXPECTS_MSG(existing.name != type.name, "duplicate buffer name");
+  types_.push_back(std::move(type));
+  return BufferId{static_cast<BufferId::underlying_type>(types_.size() - 1)};
+}
+
+const BufferType& BufferLibrary::at(BufferId id) const {
+  NBUF_EXPECTS(id.valid() && id.value() < types_.size());
+  return types_[id.value()];
+}
+
+std::vector<BufferId> BufferLibrary::ids() const {
+  std::vector<BufferId> out;
+  out.reserve(types_.size());
+  for (std::size_t i = 0; i < types_.size(); ++i)
+    out.emplace_back(static_cast<BufferId::underlying_type>(i));
+  return out;
+}
+
+BufferId BufferLibrary::strongest() const {
+  NBUF_EXPECTS_MSG(!types_.empty(), "empty buffer library");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < types_.size(); ++i)
+    if (types_[i].resistance < types_[best].resistance) best = i;
+  return BufferId{static_cast<BufferId::underlying_type>(best)};
+}
+
+double BufferLibrary::min_input_cap() const {
+  NBUF_EXPECTS(!types_.empty());
+  double m = std::numeric_limits<double>::infinity();
+  for (const auto& t : types_) m = std::min(m, t.input_cap);
+  return m;
+}
+
+BufferLibrary BufferLibrary::non_inverting() const {
+  BufferLibrary out;
+  for (const auto& t : types_)
+    if (!t.inverting) out.add(t);
+  return out;
+}
+
+BufferLibrary default_library() {
+  using namespace nbuf::units;
+  // Geometric x1..x16 inverter ladder and x1..x24 buffer ladder. A buffer is
+  // two cascaded inverters, so at equal drive strength it has slightly lower
+  // output resistance seen as a stage but more intrinsic delay and input cap;
+  // the numbers below follow that shape for a 0.25 µm-class, 1.8 V process.
+  BufferLibrary lib;
+  lib.add({"inv_x1", 1200.0 * ohm, 3.0 * fF, 18.0 * ps, 0.8 * V, true});
+  lib.add({"inv_x2", 600.0 * ohm, 6.0 * fF, 16.0 * ps, 0.8 * V, true});
+  lib.add({"inv_x4", 300.0 * ohm, 12.0 * fF, 15.0 * ps, 0.8 * V, true});
+  lib.add({"inv_x8", 150.0 * ohm, 24.0 * fF, 14.0 * ps, 0.8 * V, true});
+  lib.add({"inv_x16", 75.0 * ohm, 48.0 * fF, 13.0 * ps, 0.8 * V, true});
+  lib.add({"buf_x1", 1100.0 * ohm, 3.5 * fF, 35.0 * ps, 0.8 * V, false});
+  lib.add({"buf_x2", 550.0 * ohm, 7.0 * fF, 32.0 * ps, 0.8 * V, false});
+  lib.add({"buf_x4", 280.0 * ohm, 14.0 * fF, 30.0 * ps, 0.8 * V, false});
+  lib.add({"buf_x8", 140.0 * ohm, 28.0 * fF, 28.0 * ps, 0.8 * V, false});
+  lib.add({"buf_x16", 70.0 * ohm, 56.0 * fF, 26.0 * ps, 0.8 * V, false});
+  lib.add({"buf_x24", 45.0 * ohm, 84.0 * fF, 25.0 * ps, 0.8 * V, false});
+  return lib;
+}
+
+BufferLibrary single_buffer_library() {
+  using namespace nbuf::units;
+  BufferLibrary lib;
+  lib.add({"buf_x8", 140.0 * ohm, 28.0 * fF, 28.0 * ps, 0.8 * V, false});
+  return lib;
+}
+
+}  // namespace nbuf::lib

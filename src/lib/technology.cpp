@@ -1,0 +1,19 @@
+#include "lib/technology.hpp"
+
+#include "util/units.hpp"
+
+namespace nbuf::lib {
+
+Technology default_technology() {
+  using namespace nbuf::units;
+  Technology t;
+  t.wire_res_per_um = 0.073 * ohm;
+  t.wire_cap_per_um = 0.21 * fF;
+  t.vdd = 1.8 * V;
+  t.aggressor_rise = 0.25 * ns;
+  t.coupling_ratio = 0.7;
+  t.validate();
+  return t;
+}
+
+}  // namespace nbuf::lib

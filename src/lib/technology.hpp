@@ -1,0 +1,62 @@
+// Process technology parameters: per-unit wire parasitics and the coupling
+// "estimation mode" of the paper's Section II-B.
+//
+// When buffer insertion runs before detailed routing, neighboring aggressors
+// are unknown; the paper's estimation mode assumes a single aggressor fully
+// coupled to every wire with a fixed coupling-to-total-capacitance ratio
+// lambda and a fixed aggressor slope mu = Vdd / rise_time. The injected
+// current per wire is then  i_w = lambda * C_w * mu  (eq. 6).
+#pragma once
+
+#include "util/check.hpp"
+
+namespace nbuf::lib {
+
+struct Technology {
+  // Wire parasitics per micrometer of routed length.
+  double wire_res_per_um = 0.0;  // ohm/µm
+  double wire_cap_per_um = 0.0;  // farad/µm (total, including coupling part)
+
+  // Supply and estimation-mode coupling assumptions.
+  double vdd = 0.0;              // volt
+  double aggressor_rise = 0.0;   // second — aggressor input rise time
+  double coupling_ratio = 0.0;   // lambda in [0,1): coupling cap / total cap
+
+  // Aggressor slope mu = Vdd / rise_time (V/s).
+  [[nodiscard]] double aggressor_slope() const {
+    NBUF_EXPECTS(aggressor_rise > 0.0);
+    return vdd / aggressor_rise;
+  }
+
+  // Estimation-mode injected current per µm of victim wire (A/µm):
+  // i = lambda * c * mu.
+  [[nodiscard]] double coupling_current_per_um() const {
+    return coupling_ratio * wire_cap_per_um * aggressor_slope();
+  }
+
+  // Electrical values of a wire of the given length (µm).
+  [[nodiscard]] double wire_res(double length_um) const {
+    return wire_res_per_um * length_um;
+  }
+  [[nodiscard]] double wire_cap(double length_um) const {
+    return wire_cap_per_um * length_um;
+  }
+  [[nodiscard]] double wire_coupling_current(double length_um) const {
+    return coupling_current_per_um() * length_um;
+  }
+
+  void validate() const {
+    NBUF_EXPECTS(wire_res_per_um > 0.0);
+    NBUF_EXPECTS(wire_cap_per_um > 0.0);
+    NBUF_EXPECTS(vdd > 0.0);
+    NBUF_EXPECTS(aggressor_rise > 0.0);
+    NBUF_EXPECTS(coupling_ratio >= 0.0 && coupling_ratio < 1.0);
+  }
+};
+
+// The 0.25 µm-class technology used throughout Section V's reproduction:
+// r = 0.073 ohm/µm, c = 0.21 fF/µm, Vdd = 1.8 V, aggressor rise 0.25 ns
+// (slope 7.2 V/ns), lambda = 0.7.
+[[nodiscard]] Technology default_technology();
+
+}  // namespace nbuf::lib

@@ -1,0 +1,36 @@
+#include "lib/wire.hpp"
+
+namespace nbuf::lib {
+
+WireWidthLibrary::WireWidthLibrary(std::vector<WireWidth> widths) {
+  for (auto& w : widths) add(std::move(w));
+}
+
+std::size_t WireWidthLibrary::add(WireWidth w) {
+  NBUF_EXPECTS(!w.name.empty());
+  NBUF_EXPECTS(w.res_scale > 0.0);
+  NBUF_EXPECTS(w.cap_scale > 0.0);
+  NBUF_EXPECTS(w.coupling_scale >= 0.0);
+  if (widths_.empty()) {
+    NBUF_EXPECTS_MSG(w.res_scale == 1.0 && w.cap_scale == 1.0 &&
+                         w.coupling_scale == 1.0,
+                     "width 0 must be the base (1x) wire");
+  }
+  widths_.push_back(std::move(w));
+  return widths_.size() - 1;
+}
+
+const WireWidth& WireWidthLibrary::at(std::size_t i) const {
+  NBUF_EXPECTS(i < widths_.size());
+  return widths_[i];
+}
+
+WireWidthLibrary default_wire_widths() {
+  WireWidthLibrary l;
+  l.add({"w1x", 1.0, 1.0, 1.0});
+  l.add({"w2x", 0.5, 1.45, 0.80});
+  l.add({"w4x", 0.25, 2.35, 0.65});
+  return l;
+}
+
+}  // namespace nbuf::lib

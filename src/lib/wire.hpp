@@ -1,0 +1,46 @@
+// Discrete wire-width library for simultaneous wire sizing (Lillis, Cheng,
+// Lin, JSSC 1996 — the extension family the paper's Algorithm 3 builds on).
+//
+// Each width is expressed as scale factors on the base (1x) wire's
+// electrical values: widening divides resistance, grows total capacitance
+// sublinearly (area grows, fringe roughly constant), and reduces the
+// injected coupling current (sidewall coupling capacitance stays roughly
+// constant while the victim gets less resistive, so the coupled fraction of
+// total capacitance drops).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace nbuf::lib {
+
+struct WireWidth {
+  std::string name;
+  double res_scale = 1.0;       // multiplies wire resistance
+  double cap_scale = 1.0;       // multiplies wire capacitance
+  double coupling_scale = 1.0;  // multiplies injected coupling current
+};
+
+class WireWidthLibrary {
+ public:
+  WireWidthLibrary() = default;
+  explicit WireWidthLibrary(std::vector<WireWidth> widths);
+
+  std::size_t add(WireWidth w);
+  [[nodiscard]] const WireWidth& at(std::size_t i) const;
+  [[nodiscard]] std::size_t size() const noexcept { return widths_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return widths_.empty(); }
+  [[nodiscard]] const std::vector<WireWidth>& widths() const noexcept {
+    return widths_;
+  }
+
+ private:
+  std::vector<WireWidth> widths_;
+};
+
+// 1x / 2x / 4x ladder; index 0 is always the base width (scales = 1).
+[[nodiscard]] WireWidthLibrary default_wire_widths();
+
+}  // namespace nbuf::lib

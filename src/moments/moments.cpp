@@ -1,0 +1,103 @@
+#include "moments/moments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace nbuf::moments {
+
+std::vector<std::vector<double>> stage_moments(
+    const sim::StageCircuit& circuit, double driver_resistance, int order) {
+  NBUF_EXPECTS(order >= 1);
+  NBUF_EXPECTS(driver_resistance > 0.0);
+  const std::size_t n = circuit.size();
+
+  // Children-before-parents order (reversed preorder from the root).
+  std::vector<std::vector<std::size_t>> kids(n);
+  for (std::size_t i = 1; i < n; ++i) kids[circuit.parent[i]].push_back(i);
+  std::vector<std::size_t> pre;
+  pre.reserve(n);
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    pre.push_back(v);
+    for (std::size_t k : kids[v]) stack.push_back(k);
+  }
+  NBUF_ASSERT(pre.size() == n);
+
+  std::vector<std::vector<double>> m(static_cast<std::size_t>(order) + 1,
+                                     std::vector<double>(n, 0.0));
+  std::fill(m[0].begin(), m[0].end(), 1.0);
+
+  std::vector<double> subtree(n);
+  for (int k = 1; k <= order; ++k) {
+    // Postorder: S_k(v) = C_v * m_{k-1}(v) + sum over children.
+    for (auto it = pre.rbegin(); it != pre.rend(); ++it) {
+      const std::size_t v = *it;
+      double s = circuit.total_cap(v) * m[k - 1][v];
+      for (std::size_t child : kids[v]) s += subtree[child];
+      subtree[v] = s;
+    }
+    // Preorder: m_k(v) = m_k(parent) - R_branch * S_k(v).
+    for (std::size_t v : pre) {
+      if (v == 0) {
+        m[k][0] = -driver_resistance * subtree[0];
+      } else {
+        m[k][v] = m[k][circuit.parent[v]] -
+                  subtree[v] / circuit.branch_g[v];
+      }
+    }
+  }
+  return m;
+}
+
+double d2m_delay(double m1, double m2) {
+  NBUF_EXPECTS_MSG(m1 < 0.0 && m2 > 0.0, "RC-tree moments alternate sign");
+  return std::log(2.0) * m1 * m1 / std::sqrt(m2);
+}
+
+MomentReport analyze(const rct::RoutingTree& tree,
+                     const rct::BufferAssignment& buffers,
+                     const lib::BufferLibrary& lib,
+                     const MomentOptions& options) {
+  const auto stages = rct::decompose(tree, buffers, lib);
+  // Per-stage arrivals at buffer inputs, separately for each estimate.
+  std::unordered_map<rct::NodeId, double> arrival_elmore, arrival_d2m;
+
+  MomentReport report;
+  report.sinks.resize(tree.sink_count());
+  for (const rct::Stage& st : stages) {
+    const sim::StageCircuit c = sim::build_stage_circuit(
+        tree, st, /*coupling_ratio=*/0.0, options.section_length);
+    const auto m = stage_moments(c, st.driver_resistance, 2);
+
+    double in_elmore = 0.0, in_d2m = 0.0;
+    if (!st.driven_by_source) {
+      in_elmore = arrival_elmore.at(st.root);
+      in_d2m = arrival_d2m.at(st.root);
+    }
+    for (const rct::StageSink& s : st.sinks) {
+      const std::size_t sim_node = c.sim_node_of.at(s.node);
+      const double m1 = m[1][sim_node];
+      const double m2 = m[2][sim_node];
+      const double t_elmore =
+          in_elmore + st.driver_intrinsic_delay - m1;
+      const double t_d2m =
+          in_d2m + st.driver_intrinsic_delay + d2m_delay(m1, m2);
+      if (s.is_buffer_input) {
+        arrival_elmore[s.node] = t_elmore;
+        arrival_d2m[s.node] = t_d2m;
+      } else {
+        report.sinks[s.sink.value()] = {s.sink, t_elmore, t_d2m};
+        report.max_elmore = std::max(report.max_elmore, t_elmore);
+        report.max_d2m = std::max(report.max_d2m, t_d2m);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace nbuf::moments

@@ -1,0 +1,58 @@
+// Moment computation on RC trees (the RICE/AWE family the paper cites as
+// the accurate-but-costly alternative to closed-form metrics), and the
+// moment-based D2M delay metric.
+//
+// For a stage driven through resistance R_drv, the k-th voltage moment at
+// node v obeys the classic RC-tree recurrence (one postorder + one preorder
+// sweep per order, O(n) each):
+//   m_0(v) = 1
+//   S_k(v) = sum over subtree(v) of C_u * m_{k-1}(u)
+//   m_k(root) = -R_drv * S_k(root)
+//   m_k(v)    = m_k(parent) - R_branch(v) * S_k(v)
+// m_1(v) is the negated Elmore delay; D2M = ln 2 * m1^2 / sqrt(m2) is a
+// far less pessimistic 50%-delay estimate at two moments' cost (Alpert,
+// Devgan, Kashyap). The fidelity ladder Elmore -> D2M -> transient is
+// quantified by bench/figE_delay_fidelity.
+#pragma once
+
+#include <vector>
+
+#include "lib/buffer.hpp"
+#include "rct/stage.hpp"
+#include "sim/stage_circuit.hpp"
+
+namespace nbuf::moments {
+
+// m[k][sim_node] for k = 0..order. Coupled capacitance is treated as
+// grounded (quiet neighbors during a timing event).
+[[nodiscard]] std::vector<std::vector<double>> stage_moments(
+    const sim::StageCircuit& circuit, double driver_resistance, int order);
+
+// D2M 50%-delay estimate from the first two moments (m1 < 0, m2 > 0).
+[[nodiscard]] double d2m_delay(double m1, double m2);
+
+struct SinkDelayEstimate {
+  rct::SinkId sink;
+  double elmore = 0.0;  // second — -m1 plus gate delays (matches
+                        // elmore::analyze up to wire discretization)
+  double d2m = 0.0;     // second — D2M per stage plus gate delays
+};
+
+struct MomentReport {
+  std::vector<SinkDelayEstimate> sinks;  // indexed by SinkId
+  double max_elmore = 0.0;
+  double max_d2m = 0.0;
+};
+
+struct MomentOptions {
+  double section_length = 100.0;  // µm — pi-section granularity
+};
+
+// Moment-based delay estimates through a buffered tree; stage results
+// compose through buffer input arrivals exactly as in elmore::analyze.
+[[nodiscard]] MomentReport analyze(const rct::RoutingTree& tree,
+                                   const rct::BufferAssignment& buffers,
+                                   const lib::BufferLibrary& lib,
+                                   const MomentOptions& options = {});
+
+}  // namespace nbuf::moments

@@ -1,0 +1,98 @@
+#include "netgen/netgen.hpp"
+
+#include <cmath>
+
+#include "core/tool.hpp"
+#include "steiner/steiner.hpp"
+#include "util/check.hpp"
+#include "util/units.hpp"
+
+namespace nbuf::netgen {
+
+std::size_t sample_sink_count(util::Rng& rng) {
+  // Bucketed Table-I-style distribution: global nets are dominated by one-
+  // and two-sink topologies with a small high-fanout tail.
+  static const std::vector<double> weights = {
+      59.0,  // 1 sink
+      18.5,  // 2 sinks
+      8.0,   // 3
+      5.0,   // 4
+      3.5,   // 5
+      4.5,   // 6-10 (uniform within)
+      1.5,   // 11-20 (uniform within)
+  };
+  const std::size_t bucket = rng.weighted_index(weights);
+  switch (bucket) {
+    case 0: return 1;
+    case 1: return 2;
+    case 2: return 3;
+    case 3: return 4;
+    case 4: return 5;
+    case 5: return static_cast<std::size_t>(rng.uniform_int(6, 10));
+    default: return static_cast<std::size_t>(rng.uniform_int(11, 20));
+  }
+}
+
+GeneratedNet generate_net(util::Rng& rng, const lib::BufferLibrary& lib,
+                          const TestbenchOptions& options, std::size_t index) {
+  using namespace nbuf::units;
+  options.tech.validate();
+
+  const std::size_t sinks = sample_sink_count(rng);
+  const double span = rng.log_uniform(options.min_span, options.max_span);
+  const double aspect = rng.uniform(0.25, 1.0);
+
+  rct::Driver driver;
+  driver.name = "drv" + std::to_string(index);
+  driver.resistance =
+      rng.log_uniform(options.min_driver_res, options.max_driver_res);
+  driver.intrinsic_delay = rng.uniform(20.0 * ps, 80.0 * ps);
+
+  std::vector<steiner::PinSpec> pins;
+  pins.reserve(sinks);
+  for (std::size_t s = 0; s < sinks; ++s) {
+    steiner::PinSpec pin;
+    // Keep sinks away from the source corner so nets really span `span`.
+    pin.at.x = rng.uniform(0.3 * span, span);
+    pin.at.y = rng.uniform(0.0, span * aspect);
+    pin.info.name = "net" + std::to_string(index) + "_s" + std::to_string(s);
+    pin.info.cap = rng.uniform(options.min_sink_cap, options.max_sink_cap);
+    pin.info.noise_margin = options.noise_margin;
+    pin.info.required_arrival = 0.0;  // set below from delay-optimal timing
+    pins.push_back(pin);
+  }
+
+  GeneratedNet net;
+  net.name = "net" + std::to_string(index);
+  net.tree =
+      steiner::build_tree(steiner::Point{0.0, 0.0}, driver, pins, options.tech);
+  net.sink_count = sinks;
+  net.wirelength = net.tree.total_wirelength();
+  net.total_cap = net.tree.total_cap();
+
+  // Derive per-sink RATs: a fixed headroom above the net's delay-optimal
+  // buffered arrival times, making Problem 3 well-posed on every net.
+  core::ToolOptions topt;
+  topt.segmenting.max_segment_length = options.rat_segment_length;
+  const core::ToolResult delay_opt =
+      core::run_delayopt(net.tree, lib, /*max_buffers=*/16, topt);
+  for (const auto& st : delay_opt.timing_after.sinks) {
+    const rct::SinkId sid = st.sink;
+    rct::SinkInfo info = net.tree.sink(sid);
+    info.required_arrival = options.rat_headroom * st.delay;
+    net.tree.set_sink_info(sid, info);
+  }
+  return net;
+}
+
+std::vector<GeneratedNet> generate_testbench(const lib::BufferLibrary& lib,
+                                             const TestbenchOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<GeneratedNet> nets;
+  nets.reserve(options.net_count);
+  for (std::size_t i = 0; i < options.net_count; ++i)
+    nets.push_back(generate_net(rng, lib, options, i));
+  return nets;
+}
+
+}  // namespace nbuf::netgen

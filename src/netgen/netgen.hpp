@@ -1,0 +1,67 @@
+// Synthetic microprocessor-net testbench.
+//
+// The paper evaluates on the 500 largest-total-capacitance nets of a
+// PowerPC design — proprietary data we substitute with a seed-stable
+// synthetic workload of the same shape: mostly-few-sink global nets,
+// millimeter-scale spans routed through the Steiner generator, 0.25 µm-class
+// parasitics, estimation-mode coupling (lambda = 0.7, 7.2 V/ns aggressor),
+// a 0.8 V noise margin everywhere, and per-sink required arrival times set
+// with a fixed headroom above each net's delay-optimal buffered delay (so
+// that "meet timing with the fewest buffers" — Problem 3 — is well-posed,
+// as in the paper's BuffOpt tool).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lib/buffer.hpp"
+#include "lib/technology.hpp"
+#include "rct/tree.hpp"
+#include "util/rng.hpp"
+
+namespace nbuf::netgen {
+
+struct TestbenchOptions {
+  std::uint64_t seed = 9851;
+  std::size_t net_count = 500;
+  lib::Technology tech = lib::default_technology();
+  // RAT(si) = headroom * delay-optimal arrival of si.
+  double rat_headroom = 1.10;
+  // Net spatial extent (µm): log-uniform span of the sink bounding box.
+  double min_span = 2000.0;
+  double max_span = 12000.0;
+  // Driver strength range (ohm, log-uniform) and intrinsic delay (s).
+  double min_driver_res = 40.0;
+  double max_driver_res = 400.0;
+  // Sink pin capacitance range (farad, uniform).
+  double min_sink_cap = 4e-15;
+  double max_sink_cap = 40e-15;
+  double noise_margin = 0.8;  // volt, all sinks (paper Section V)
+  // Wire segmenting used when deriving delay-optimal RATs.
+  double rat_segment_length = 500.0;  // µm
+};
+
+struct GeneratedNet {
+  std::string name;
+  rct::RoutingTree tree;  // binarized, estimation-mode coupling annotated
+  std::size_t sink_count = 0;
+  double total_cap = 0.0;    // farad
+  double wirelength = 0.0;   // µm
+};
+
+// Sink-count distribution of the testbench (Table I shape): heavily skewed
+// toward few sinks, with a tail to ~20.
+[[nodiscard]] std::size_t sample_sink_count(util::Rng& rng);
+
+// Generates the testbench. `lib` is needed to derive delay-optimal RATs.
+[[nodiscard]] std::vector<GeneratedNet> generate_testbench(
+    const lib::BufferLibrary& lib, const TestbenchOptions& options = {});
+
+// Generates one net (exposed for tests and examples).
+[[nodiscard]] GeneratedNet generate_net(util::Rng& rng,
+                                        const lib::BufferLibrary& lib,
+                                        const TestbenchOptions& options,
+                                        std::size_t index);
+
+}  // namespace nbuf::netgen

@@ -1,0 +1,66 @@
+#include "noise/coupling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace nbuf::noise {
+
+std::vector<rct::NodeId> apply_coupling(
+    rct::RoutingTree& tree, rct::NodeId node,
+    const std::vector<Aggressor>& aggs,
+    const std::vector<CouplingSpan>& spans) {
+  const rct::Wire whole = tree.node(node).parent_wire;
+  NBUF_EXPECTS_MSG(whole.length > 0.0, "cannot couple a zero-length wire");
+  for (const CouplingSpan& s : spans) {
+    NBUF_EXPECTS(s.aggressor < aggs.size());
+    NBUF_EXPECTS(s.from >= 0.0 && s.from < s.to && s.to <= whole.length);
+    NBUF_EXPECTS(aggs[s.aggressor].slope > 0.0);
+    NBUF_EXPECTS(aggs[s.aggressor].coupling_ratio >= 0.0);
+  }
+
+  // Cut positions measured from the upstream end, interior only.
+  std::vector<double> cuts;
+  for (const CouplingSpan& s : spans) {
+    cuts.push_back(s.from);
+    cuts.push_back(s.to);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end(),
+                         [](double a, double b) {
+                           return std::abs(a - b) < 1e-9;
+                         }),
+             cuts.end());
+  std::erase_if(cuts, [&](double c) {
+    return c < 1e-9 || c > whole.length - 1e-9;
+  });
+
+  // Split bottom wire repeatedly; cuts ascend so each stays interior to the
+  // remaining lower piece. Every split peels off the upper part.
+  std::vector<rct::NodeId> segment_owners;
+  for (double c : cuts)
+    segment_owners.push_back(
+        tree.split_wire(node, whole.length - c, "", /*buffer_allowed=*/true));
+  segment_owners.push_back(node);
+
+  // Assign eq. 6 currents per segment (covering aggressors at the segment
+  // midpoint; spans were snapped onto segment boundaries above).
+  double seg_start = 0.0;
+  for (rct::NodeId owner : segment_owners) {
+    rct::Wire w = tree.node(owner).parent_wire;
+    const double mid = seg_start + w.length / 2.0;
+    double per_cap_rate = 0.0;  // sum lambda_j * mu_j over covering spans
+    for (const CouplingSpan& s : spans)
+      if (s.from <= mid && mid <= s.to)
+        per_cap_rate +=
+            aggs[s.aggressor].coupling_ratio * aggs[s.aggressor].slope;
+    w.coupling_current = per_cap_rate * w.capacitance;
+    tree.set_parent_wire(owner, w);
+    seg_start += w.length;
+  }
+  NBUF_ASSERT(std::abs(seg_start - whole.length) < 1e-6 * whole.length);
+  return segment_owners;
+}
+
+}  // namespace nbuf::noise

@@ -1,0 +1,41 @@
+// Explicit multi-aggressor coupling (Section II-B, Fig. 2).
+//
+// When neighboring aggressors are known (post-routing), each victim wire is
+// segmented so every resulting segment is completely coupled to a fixed set
+// of aggressors; each segment then carries the injected current
+//   i_seg = sum_{aggressors j covering it} lambda_j * mu_j * C_seg   (eq. 6)
+// This module performs the Fig. 2 segmentation on a RoutingTree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rct/tree.hpp"
+
+namespace nbuf::noise {
+
+// One simultaneously-switching aggressor net.
+struct Aggressor {
+  std::string name;
+  double slope = 0.0;           // V/s — Vdd / input rise time (mu_j)
+  double coupling_ratio = 0.0;  // lambda_j: coupling / victim wire cap
+};
+
+// The stretch of one victim wire over which an aggressor runs parallel.
+// Positions are µm measured from the wire's UPSTREAM (parent) end.
+struct CouplingSpan {
+  std::size_t aggressor = 0;  // index into the aggressor list
+  double from = 0.0;
+  double to = 0.0;
+};
+
+// Segments the parent wire of `node` at every span boundary and sets each
+// segment's coupling_current per eq. 6 (uncovered stretches get zero).
+// Spans may overlap (two aggressors flanking the victim). Returns the nodes
+// owning the resulting segments, upstream-most first; the last is `node`.
+std::vector<rct::NodeId> apply_coupling(rct::RoutingTree& tree,
+                                        rct::NodeId node,
+                                        const std::vector<Aggressor>& aggs,
+                                        const std::vector<CouplingSpan>& spans);
+
+}  // namespace nbuf::noise

@@ -1,0 +1,124 @@
+#include "noise/devgan.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace nbuf::noise {
+
+namespace {
+
+bool is_stage_boundary(const rct::Stage& stage, rct::NodeId id) {
+  return std::any_of(stage.sinks.begin(), stage.sinks.end(),
+                     [&](const rct::StageSink& s) {
+                       return s.node == id && s.is_buffer_input;
+                     });
+}
+
+}  // namespace
+
+std::unordered_map<rct::NodeId, double> stage_currents(
+    const rct::RoutingTree& tree, const rct::Stage& stage) {
+  std::unordered_map<rct::NodeId, double> cur;
+  cur.reserve(stage.nodes.size());
+  for (auto it = stage.nodes.rbegin(); it != stage.nodes.rend(); ++it) {
+    const rct::NodeId id = *it;
+    double i = 0.0;
+    if (!is_stage_boundary(stage, id)) {
+      for (rct::NodeId child : tree.node(id).children) {
+        auto ic = cur.find(child);
+        if (ic == cur.end()) continue;  // child outside the stage
+        i += ic->second + tree.node(child).parent_wire.coupling_current;
+      }
+    }
+    cur[id] = i;
+  }
+  return cur;
+}
+
+std::unordered_map<rct::NodeId, double> stage_noise(
+    const rct::RoutingTree& tree, const rct::Stage& stage) {
+  const auto cur = stage_currents(tree, stage);
+  std::unordered_map<rct::NodeId, double> nz;
+  nz.reserve(stage.nodes.size());
+  // Driver term of eq. 9: all downstream current returns through the gate.
+  const double root_current =
+      cur.at(stage.root);  // currents *below* root, within the stage
+  nz[stage.root] = stage.driver_resistance * root_current;
+  for (rct::NodeId id : stage.nodes) {
+    if (id == stage.root) continue;
+    const rct::Node& n = tree.node(id);
+    const rct::Wire& w = n.parent_wire;
+    auto pn = nz.find(n.parent);
+    NBUF_ASSERT_MSG(pn != nz.end(), "stage nodes must be preorder");
+    nz[id] = pn->second +
+             w.resistance * (w.coupling_current / 2.0 + cur.at(id));
+  }
+  return nz;
+}
+
+NoiseReport analyze(const rct::RoutingTree& tree,
+                    const rct::BufferAssignment& buffers,
+                    const lib::BufferLibrary& lib) {
+  const auto stages = rct::decompose(tree, buffers, lib);
+  NoiseReport report;
+  report.sinks.resize(tree.sink_count());
+  report.worst_slack = std::numeric_limits<double>::infinity();
+  for (const rct::Stage& st : stages) {
+    const auto nz = stage_noise(tree, st);
+    for (const rct::StageSink& s : st.sinks) {
+      LeafNoise ln;
+      ln.node = s.node;
+      ln.is_buffer_input = s.is_buffer_input;
+      ln.sink = s.sink;
+      ln.noise = nz.at(s.node);
+      ln.margin = s.noise_margin;
+      ln.slack = ln.margin - ln.noise;
+      report.leaves.push_back(ln);
+      if (!s.is_buffer_input) report.sinks[s.sink.value()] = ln;
+      report.worst_slack = std::min(report.worst_slack, ln.slack);
+      if (ln.slack < 0.0) ++report.violation_count;
+    }
+  }
+  return report;
+}
+
+NoiseReport analyze_unbuffered(const rct::RoutingTree& tree) {
+  static const lib::BufferLibrary empty_lib;
+  return analyze(tree, rct::BufferAssignment{}, empty_lib);
+}
+
+std::unordered_map<rct::NodeId, double> noise_slacks(
+    const rct::RoutingTree& tree) {
+  const auto order = tree.postorder();
+  // Downstream current I(v) for every node (eq. 7), one postorder sweep.
+  std::unordered_map<rct::NodeId, double> cur;
+  cur.reserve(order.size());
+  for (rct::NodeId id : order) {
+    double i = 0.0;
+    for (rct::NodeId child : tree.node(id).children)
+      i += cur.at(child) + tree.node(child).parent_wire.coupling_current;
+    cur[id] = i;
+  }
+  std::unordered_map<rct::NodeId, double> ns;
+  ns.reserve(order.size());
+  for (rct::NodeId id : order) {
+    const rct::Node& n = tree.node(id);
+    if (n.kind == rct::NodeKind::Sink) {
+      ns[id] = tree.sink(n.sink).noise_margin;
+      continue;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (rct::NodeId child : n.children) {
+      const rct::Wire& w = tree.node(child).parent_wire;
+      const double wire_noise =
+          w.resistance * (w.coupling_current / 2.0 + cur.at(child));
+      best = std::min(best, ns.at(child) - wire_noise);
+    }
+    ns[id] = best;
+  }
+  return ns;
+}
+
+}  // namespace nbuf::noise

@@ -1,0 +1,150 @@
+#include "noise/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "noise/devgan.hpp"
+#include "util/check.hpp"
+
+namespace nbuf::noise {
+
+IncrementalNoise::IncrementalNoise(const rct::RoutingTree& tree)
+    : tree_(tree) {
+  const std::size_t n = tree.node_count();
+  current_.assign(n, 0.0);
+  noise_.assign(n, 0.0);
+  slack_.assign(n, 0.0);
+  up_res_.assign(n, 0.0);
+  depth_.assign(n, 0);
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+
+  // Bottom-up: currents (eq. 7) and noise slacks (eq. 12).
+  const auto post = tree.postorder();
+  for (rct::NodeId id : post) {
+    const rct::Node& nd = tree.node(id);
+    double i = 0.0;
+    for (rct::NodeId c : nd.children)
+      i += current_[c.value()] + tree.node(c).parent_wire.coupling_current;
+    current_[id.value()] = i;
+    if (nd.kind == rct::NodeKind::Sink) {
+      slack_[id.value()] = tree.sink(nd.sink).noise_margin;
+    } else {
+      double best = std::numeric_limits<double>::infinity();
+      for (rct::NodeId c : nd.children) {
+        const rct::Wire& w = tree.node(c).parent_wire;
+        best = std::min(best, slack_[c.value()] -
+                                  w.resistance *
+                                      (w.coupling_current / 2.0 +
+                                       current_[c.value()]));
+      }
+      slack_[id.value()] = best;
+    }
+  }
+
+  // Top-down: noise prefix, upstream resistance, depths, Euler intervals.
+  const auto pre = tree.preorder();
+  const double r_drv = tree.driver().resistance;
+  std::size_t timer = 0;
+  for (rct::NodeId id : pre) {
+    const rct::Node& nd = tree.node(id);
+    tin_[id.value()] = timer++;
+    if (id == tree.source()) {
+      noise_[id.value()] = r_drv * current_[id.value()];
+      up_res_[id.value()] = r_drv;
+      depth_[id.value()] = 0;
+      continue;
+    }
+    const rct::Wire& w = nd.parent_wire;
+    const std::size_t p = nd.parent.value();
+    noise_[id.value()] =
+        noise_[p] +
+        w.resistance * (w.coupling_current / 2.0 + current_[id.value()]);
+    up_res_[id.value()] = up_res_[p] + w.resistance;
+    depth_[id.value()] = depth_[p] + 1;
+  }
+  // Subtree intervals: tout(v) = max preorder index within subtree(v), so
+  // anc is an ancestor of v iff tin(anc) <= tin(v) <= tout(anc).
+  for (rct::NodeId id : post) {
+    std::size_t hi = tin_[id.value()];
+    for (rct::NodeId c : tree.node(id).children)
+      hi = std::max(hi, tout_[c.value()]);
+    tout_[id.value()] = hi;
+  }
+
+  // Binary lifting for LCA.
+  int levels = 1;
+  while ((1u << levels) < n) ++levels;
+  up_.assign(levels + 1, std::vector<rct::NodeId>(n));
+  for (rct::NodeId id : pre)
+    up_[0][id.value()] =
+        id == tree.source() ? tree.source() : tree.node(id).parent;
+  for (int k = 1; k <= levels; ++k)
+    for (std::size_t v = 0; v < n; ++v)
+      up_[k][v] = up_[k - 1][up_[k - 1][v].value()];
+}
+
+double IncrementalNoise::current(rct::NodeId v) const {
+  return current_[v.value()];
+}
+double IncrementalNoise::noise(rct::NodeId v) const {
+  return noise_[v.value()];
+}
+double IncrementalNoise::noise_slack(rct::NodeId v) const {
+  return slack_[v.value()];
+}
+double IncrementalNoise::upstream_resistance(rct::NodeId v) const {
+  return up_res_[v.value()];
+}
+
+bool IncrementalNoise::is_ancestor(rct::NodeId anc, rct::NodeId v) const {
+  // Inclusive: a node is its own ancestor.
+  return tin_[anc.value()] <= tin_[v.value()] &&
+         tin_[v.value()] <= tout_[anc.value()];
+}
+
+rct::NodeId IncrementalNoise::lca(rct::NodeId a, rct::NodeId b) const {
+  if (is_ancestor(a, b)) return a;
+  if (is_ancestor(b, a)) return b;
+  rct::NodeId cur = a;
+  for (int k = static_cast<int>(up_.size()) - 1; k >= 0; --k) {
+    const rct::NodeId cand = up_[static_cast<std::size_t>(k)][cur.value()];
+    if (!is_ancestor(cand, b)) cur = cand;
+  }
+  return up_[0][cur.value()];
+}
+
+double IncrementalNoise::common_resistance(rct::NodeId a,
+                                           rct::NodeId b) const {
+  return up_res_[lca(a, b).value()];
+}
+
+double IncrementalNoise::noise_with_subtree_decoupled(rct::NodeId at,
+                                                      rct::NodeId v) const {
+  NBUF_EXPECTS_MSG(at == v || !is_ancestor(v, at),
+                   "`at` must not lie inside the decoupled subtree");
+  // The subtree's current I(v) no longer flows through the shared part of
+  // the two paths (for `at == v`, the whole path to v).
+  const double shared = at == v ? up_res_[v.value()] : common_resistance(at, v);
+  return noise_[at.value()] - shared * current_[v.value()];
+}
+
+bool IncrementalNoise::single_buffer_fixes(rct::NodeId v, double r_b,
+                                           double nm_b) const {
+  const rct::Node& nd = tree_.node(v);
+  NBUF_EXPECTS_MSG(nd.kind == rct::NodeKind::Internal,
+                   "buffers go on internal nodes");
+  // Downstream: the buffer drives subtree(v).
+  if (r_b * current_[v.value()] > slack_[v.value()]) return false;
+  // The buffer's own input pin.
+  if (noise_with_subtree_decoupled(v, v) > nm_b) return false;
+  // Every sink outside the subtree.
+  for (const rct::SinkInfo& s : tree_.sinks()) {
+    if (is_ancestor(v, s.node)) continue;  // inside: covered by NS(v)
+    if (noise_with_subtree_decoupled(s.node, v) > s.noise_margin)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace nbuf::noise

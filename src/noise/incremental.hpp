@@ -1,0 +1,71 @@
+// Incremental Devgan noise queries.
+//
+// Section II-B notes that the metric's "computational complexity, structure,
+// and incremental nature is the same as the famous Elmore delay metric".
+// This module realizes that: after an O(n log n) precomputation on the
+// unbuffered tree, it answers in O(1)
+//   * I(v), Noise(v), NS(v), and the upstream resistance R(path so->v),
+//   * the noise anywhere outside a subtree after that subtree is decoupled
+//     by a buffer:  Noise'(a) = Noise(a) - R_common(a, v) * I(v)
+// where R_common is the driver resistance plus the shared path resistance
+// (computed via binary-lifting LCA). A global what-if — "would one buffer
+// at v fix every violation?" — is answered in O(#sinks).
+//
+// These queries are what per-buffer iterative improvement loops (Kannan et
+// al., Lin/Marek-Sadowska — the paper's related work) need in their inner
+// loop; tests validate every answer against full re-analysis.
+#pragma once
+
+#include <vector>
+
+#include "lib/buffer.hpp"
+#include "rct/tree.hpp"
+
+namespace nbuf::noise {
+
+class IncrementalNoise {
+ public:
+  explicit IncrementalNoise(const rct::RoutingTree& tree);
+
+  // Total downstream current I(v), eq. 7.
+  [[nodiscard]] double current(rct::NodeId v) const;
+  // Devgan noise at v in the unbuffered tree (driver term included).
+  [[nodiscard]] double noise(rct::NodeId v) const;
+  // Noise slack NS(v), eq. 12.
+  [[nodiscard]] double noise_slack(rct::NodeId v) const;
+  // Driver resistance plus wire resistance along source -> v.
+  [[nodiscard]] double upstream_resistance(rct::NodeId v) const;
+
+  // Lowest common ancestor of a and b.
+  [[nodiscard]] rct::NodeId lca(rct::NodeId a, rct::NodeId b) const;
+  // Shared electrical resistance of the paths source->a and source->b
+  // (driver resistance included — all current returns through it).
+  [[nodiscard]] double common_resistance(rct::NodeId a, rct::NodeId b) const;
+
+  // Noise at `at` once a buffer input pin replaces the subtree of `v`
+  // (buffer input draws no current). `at` must not lie strictly inside
+  // subtree(v); `at == v` gives the noise at the new buffer's input pin.
+  [[nodiscard]] double noise_with_subtree_decoupled(rct::NodeId at,
+                                                    rct::NodeId v) const;
+
+  // True iff inserting one buffer (resistance r_b, input margin nm_b) at
+  // internal node v leaves no violation anywhere: the buffer can drive its
+  // subtree (r_b * I(v) <= NS(v)), its own input is within nm_b, and every
+  // sink outside the subtree is within its margin. O(#sinks).
+  [[nodiscard]] bool single_buffer_fixes(rct::NodeId v, double r_b,
+                                         double nm_b) const;
+
+ private:
+  [[nodiscard]] bool is_ancestor(rct::NodeId anc, rct::NodeId v) const;
+
+  const rct::RoutingTree& tree_;
+  std::vector<double> current_;      // by node id
+  std::vector<double> noise_;        // by node id
+  std::vector<double> slack_;        // NS by node id
+  std::vector<double> up_res_;       // driver R + path wire R
+  std::vector<int> depth_;
+  std::vector<std::size_t> tin_, tout_;  // Euler intervals for ancestry
+  std::vector<std::vector<rct::NodeId>> up_;  // binary lifting table
+};
+
+}  // namespace nbuf::noise

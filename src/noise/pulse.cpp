@@ -1,0 +1,59 @@
+#include "noise/pulse.hpp"
+
+#include <cmath>
+
+#include "elmore/elmore.hpp"
+#include "util/check.hpp"
+
+namespace nbuf::noise {
+
+PulseWidthReport pulse_widths(const rct::RoutingTree& tree,
+                              const rct::BufferAssignment& buffers,
+                              const lib::BufferLibrary& lib,
+                              double aggressor_rise) {
+  NBUF_EXPECTS(aggressor_rise > 0.0);
+  const auto stages = rct::decompose(tree, buffers, lib);
+  PulseWidthReport report;
+  report.sinks.resize(tree.sink_count());
+  for (const rct::Stage& st : stages) {
+    const auto load = elmore::stage_loads(tree, st);
+    const auto wire_delay = elmore::stage_wire_delays(tree, st);
+    const double gate_tau = st.driver_resistance * load.at(st.root);
+    for (const rct::StageSink& s : st.sinks) {
+      LeafWidth lw;
+      lw.node = s.node;
+      lw.is_buffer_input = s.is_buffer_input;
+      lw.sink = s.sink;
+      const double tau = gate_tau + wire_delay.at(s.node);
+      lw.width = aggressor_rise + std::log(2.0) * tau;
+      report.leaves.push_back(lw);
+      if (!s.is_buffer_input) report.sinks[s.sink.value()] = lw;
+    }
+  }
+  return report;
+}
+
+double effective_margin(double nm_dc, double tau_gate, double width) {
+  NBUF_EXPECTS(nm_dc > 0.0);
+  NBUF_EXPECTS(tau_gate >= 0.0);
+  NBUF_EXPECTS(width > 0.0);
+  return nm_dc * (1.0 + tau_gate / width);
+}
+
+std::size_t width_aware_violations(const NoiseReport& amplitude,
+                                   const PulseWidthReport& widths,
+                                   double tau_gate) {
+  NBUF_EXPECTS_MSG(amplitude.leaves.size() == widths.leaves.size(),
+                   "reports must come from the same tree and assignment");
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i < amplitude.leaves.size(); ++i) {
+    const auto& a = amplitude.leaves[i];
+    const auto& w = widths.leaves[i];
+    NBUF_EXPECTS_MSG(a.node == w.node, "leaf order mismatch");
+    if (a.noise > effective_margin(a.margin, tau_gate, w.width))
+      ++violations;
+  }
+  return violations;
+}
+
+}  // namespace nbuf::noise

@@ -1,0 +1,63 @@
+// Noise pulse-width estimation and width-aware noise margins.
+//
+// Section II-B concedes two simplifications of the Devgan metric: it bounds
+// only the PEAK amplitude and "does not consider the duration of the noise
+// pulse", arguing peak dominates gate failure. This module supplies the
+// missing half so the tradeoff can be quantified:
+//
+//  * pulse_width_estimate — a closed-form companion to the metric: the
+//    injected current flows for the aggressor's transition time and the
+//    victim then discharges with its own RC time constant, so the width at
+//    half maximum is estimated as
+//        W ~= t_rise + ln 2 * tau(victim stage)
+//    with tau = R_drv * C_stage + Elmore(root -> leaf) (the dominant-pole
+//    time constant seen from the leaf).
+//
+//  * effective_margin — a first-order gate rejection model: a latching gate
+//    ignores pulses much shorter than its own switching delay tau_gate,
+//        NM_eff(W) = NM_dc * (1 + tau_gate / W)
+//    (DC margin recovered for wide pulses, margin inflated for narrow
+//    ones). Scoring amplitude against NM_eff never flags MORE nets than the
+//    paper's peak-vs-DC-margin rule — quantified by bench/figG_pulse_width.
+#pragma once
+
+#include <vector>
+
+#include "noise/devgan.hpp"
+#include "rct/stage.hpp"
+
+namespace nbuf::noise {
+
+// Width-at-half-maximum estimate for the noise pulse at every stage leaf.
+struct LeafWidth {
+  rct::NodeId node;
+  bool is_buffer_input = false;
+  rct::SinkId sink;
+  double width = 0.0;  // second
+};
+
+struct PulseWidthReport {
+  std::vector<LeafWidth> leaves;
+  std::vector<LeafWidth> sinks;  // indexed by SinkId
+};
+
+// `aggressor_rise` is the aggressor transition time (t_rise of eq. 6's
+// slope mu = vdd / t_rise).
+[[nodiscard]] PulseWidthReport pulse_widths(
+    const rct::RoutingTree& tree, const rct::BufferAssignment& buffers,
+    const lib::BufferLibrary& lib, double aggressor_rise);
+
+// First-order width-aware margin (see header comment). tau_gate is the
+// receiving gate's characteristic switching time.
+[[nodiscard]] double effective_margin(double nm_dc, double tau_gate,
+                                      double width);
+
+// Re-scores a Devgan amplitude report against width-aware margins:
+// violation iff  noise > effective_margin(NM, tau_gate, width).
+// Returns the number of violating leaves (always <= the amplitude-only
+// count).
+[[nodiscard]] std::size_t width_aware_violations(
+    const NoiseReport& amplitude, const PulseWidthReport& widths,
+    double tau_gate);
+
+}  // namespace nbuf::noise

@@ -1,0 +1,56 @@
+#include "rct/assignment.hpp"
+
+#include "util/check.hpp"
+
+namespace nbuf::rct {
+
+void BufferAssignment::place(NodeId node, lib::BufferId type) {
+  NBUF_EXPECTS(node.valid());
+  NBUF_EXPECTS(type.valid());
+  placed_[node] = type;
+}
+
+void BufferAssignment::remove(NodeId node) { placed_.erase(node); }
+
+bool BufferAssignment::has_buffer(NodeId node) const {
+  return placed_.count(node) != 0;
+}
+
+lib::BufferId BufferAssignment::at(NodeId node) const {
+  auto it = placed_.find(node);
+  NBUF_EXPECTS_MSG(it != placed_.end(), "no buffer at node");
+  return it->second;
+}
+
+std::vector<std::pair<NodeId, lib::BufferId>> BufferAssignment::entries()
+    const {
+  std::vector<std::pair<NodeId, lib::BufferId>> out(placed_.begin(),
+                                                    placed_.end());
+  return out;
+}
+
+void BufferAssignment::validate(const RoutingTree& tree,
+                                const lib::BufferLibrary& lib) const {
+  for (const auto& [node, type] : placed_) {
+    const Node& n = tree.node(node);
+    NBUF_EXPECTS_MSG(n.kind == NodeKind::Internal,
+                     "buffers go on internal nodes only");
+    NBUF_EXPECTS_MSG(n.buffer_allowed, "node is not a legal buffer site");
+    NBUF_EXPECTS(type.value() < lib.size());
+  }
+}
+
+bool BufferAssignment::inverted_at(const RoutingTree& tree,
+                                   const lib::BufferLibrary& lib,
+                                   NodeId node) const {
+  bool inv = false;
+  NodeId cur = node;
+  while (cur.valid()) {
+    auto it = placed_.find(cur);
+    if (it != placed_.end() && lib.at(it->second).inverting) inv = !inv;
+    cur = tree.node(cur).parent;
+  }
+  return inv;
+}
+
+}  // namespace nbuf::rct

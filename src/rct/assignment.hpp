@@ -1,0 +1,47 @@
+// Buffer insertion solutions.
+//
+// A BufferAssignment is the paper's mapping M : internal nodes -> B ∪ {b̄}
+// (Section II): each internal node either hosts a buffer from the library or
+// none. |M| is the number of inserted buffers.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "lib/buffer.hpp"
+#include "rct/tree.hpp"
+
+namespace nbuf::rct {
+
+class BufferAssignment {
+ public:
+  // Places buffer `type` at `node` (replacing any previous choice there).
+  void place(NodeId node, lib::BufferId type);
+  void remove(NodeId node);
+  void clear() { placed_.clear(); }
+
+  [[nodiscard]] bool has_buffer(NodeId node) const;
+  // Buffer at `node`; throws if none.
+  [[nodiscard]] lib::BufferId at(NodeId node) const;
+  // Number of inserted buffers |M|.
+  [[nodiscard]] std::size_t size() const noexcept { return placed_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return placed_.empty(); }
+
+  // (node, buffer) pairs in unspecified order.
+  [[nodiscard]] std::vector<std::pair<NodeId, lib::BufferId>> entries() const;
+
+  // Checks every placement names an internal, buffer-allowed node of `tree`
+  // and a valid library id.
+  void validate(const RoutingTree& tree, const lib::BufferLibrary& lib) const;
+
+  // Parity of inverting buffers on the path source -> node (inclusive of a
+  // buffer at `node` itself). true = signal is inverted at that point.
+  [[nodiscard]] bool inverted_at(const RoutingTree& tree,
+                                 const lib::BufferLibrary& lib,
+                                 NodeId node) const;
+
+ private:
+  std::unordered_map<NodeId, lib::BufferId> placed_;
+};
+
+}  // namespace nbuf::rct

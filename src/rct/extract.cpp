@@ -1,0 +1,59 @@
+#include "rct/extract.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace nbuf::rct {
+
+ExtractedStage extract_stage(const RoutingTree& tree, const Stage& stage,
+                             double default_rat) {
+  ExtractedStage out;
+
+  Driver driver;
+  driver.name = stage.driven_by_source ? tree.driver().name : "stage_buf";
+  driver.resistance = stage.driver_resistance;
+  driver.intrinsic_delay = stage.driver_intrinsic_delay;
+
+  std::unordered_map<NodeId, NodeId> made;  // original -> extracted
+  auto record = [&](NodeId extracted, NodeId original) {
+    if (out.orig_of.size() <= extracted.value())
+      out.orig_of.resize(extracted.value() + 1, NodeId::invalid());
+    out.orig_of[extracted.value()] = original;
+    made.emplace(original, extracted);
+  };
+  record(out.tree.make_source(driver, tree.node(stage.root).name),
+         stage.root);
+
+  auto leaf_of = [&](NodeId id) -> const StageSink* {
+    for (const StageSink& s : stage.sinks)
+      if (s.node == id) return &s;
+    return nullptr;
+  };
+
+  // stage.nodes is preorder, so parents are always made first.
+  for (NodeId id : stage.nodes) {
+    if (id == stage.root) continue;
+    const Node& n = tree.node(id);
+    const NodeId parent = made.at(n.parent);
+    const StageSink* leaf = leaf_of(id);
+    if (leaf != nullptr) {
+      SinkInfo s;
+      s.name = n.name.empty() ? "leaf" : n.name;
+      s.cap = leaf->cap;
+      s.noise_margin = leaf->noise_margin;
+      s.required_arrival = default_rat;
+      record(out.tree.add_sink(parent, n.parent_wire, std::move(s)), id);
+    } else {
+      record(out.tree.add_internal(parent, n.parent_wire, n.name,
+                                   n.buffer_allowed),
+             id);
+    }
+  }
+  out.tree.binarize();
+  out.tree.validate();
+  return out;
+}
+
+}  // namespace nbuf::rct

@@ -1,0 +1,27 @@
+// Extracting one stage of a buffered tree as a standalone net.
+//
+// A stage (see stage.hpp) is itself a complete net: driven by a gate,
+// loaded by pins. extract_stage materializes it as an independent
+// RoutingTree so any single-net algorithm (analysis, repair, optimization)
+// can run on it; node_of maps extracted ids back to the original tree.
+#pragma once
+
+#include <vector>
+
+#include "rct/stage.hpp"
+
+namespace nbuf::rct {
+
+struct ExtractedStage {
+  RoutingTree tree;
+  std::vector<NodeId> orig_of;  // indexed by extracted NodeId value
+};
+
+// `default_rat` is assigned to every extracted sink (stage-local repair
+// usually cares about noise, not arrival times). Buffer-input leaves become
+// sinks with the buffer's input cap and noise margin.
+[[nodiscard]] ExtractedStage extract_stage(const RoutingTree& tree,
+                                           const Stage& stage,
+                                           double default_rat);
+
+}  // namespace nbuf::rct

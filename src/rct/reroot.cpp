@@ -1,0 +1,88 @@
+#include "rct/reroot.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace nbuf::rct {
+
+RerootResult reroot(const RoutingTree& tree, NodeId new_source_sink,
+                    Driver driver, SinkInfo old_source_as_sink) {
+  const Node& terminal = tree.node(new_source_sink);
+  NBUF_EXPECTS_MSG(terminal.kind == NodeKind::Sink,
+                   "the new source must be a sink terminal of the tree");
+
+  // Undirected adjacency; each edge remembers the wire (stored on the
+  // original child side).
+  struct Edge {
+    NodeId other;
+    Wire wire;
+  };
+  std::vector<std::vector<Edge>> adj(tree.node_count());
+  for (NodeId id : tree.preorder()) {
+    const Node& n = tree.node(id);
+    if (id == tree.source()) continue;
+    adj[id.value()].push_back({n.parent, n.parent_wire});
+    adj[n.parent.value()].push_back({id, n.parent_wire});
+  }
+
+  RerootResult rr;
+  rr.new_id_of.assign(tree.node_count(), NodeId::invalid());
+
+  // BFS from the new root; the pin capacitance of the driving terminal is
+  // dropped (its pin is now the driver's output, not a load).
+  rr.new_id_of[new_source_sink.value()] =
+      rr.tree.make_source(std::move(driver), terminal.name);
+
+  std::vector<NodeId> queue{new_source_sink};
+  std::vector<bool> seen(tree.node_count(), false);
+  seen[new_source_sink.value()] = true;
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const NodeId cur = queue[qi];
+    const NodeId new_parent = rr.new_id_of[cur.value()];
+    for (const Edge& e : adj[cur.value()]) {
+      if (seen[e.other.value()]) continue;
+      seen[e.other.value()] = true;
+      const Node& n = tree.node(e.other);
+      // Nodes that keep further branches in the new orientation must stay
+      // internal; terminal pins then hang off a zero-length stub (sinks are
+      // always leaves).
+      const bool has_more_branches = adj[e.other.value()].size() > 1;
+      NodeId made;
+      if (n.kind == NodeKind::Sink) {
+        made = rr.tree.add_sink(new_parent, e.wire, tree.sink(n.sink));
+      } else if (e.other == tree.source()) {
+        SinkInfo s = old_source_as_sink;
+        if (s.name.empty()) s.name = n.name;
+        if (has_more_branches) {
+          made = rr.tree.add_internal(new_parent, e.wire, n.name,
+                                      /*buffer_allowed=*/false);
+          rr.tree.add_sink(made, Wire{}, std::move(s));
+        } else {
+          made = rr.tree.add_sink(new_parent, e.wire, std::move(s));
+        }
+      } else {
+        made = rr.tree.add_internal(new_parent, e.wire, n.name,
+                                    n.buffer_allowed);
+      }
+      rr.new_id_of[e.other.value()] = made;
+      queue.push_back(e.other);
+    }
+  }
+  rr.tree.binarize();
+  rr.tree.validate();
+  return rr;
+}
+
+BufferAssignment map_assignment(const BufferAssignment& buffers,
+                                const RerootResult& rr) {
+  BufferAssignment out;
+  for (const auto& [node, type] : buffers.entries()) {
+    const NodeId mapped = rr.new_id_of[node.value()];
+    NBUF_EXPECTS_MSG(mapped.valid(), "assignment references unmapped node");
+    out.place(mapped, type);
+  }
+  return out;
+}
+
+}  // namespace nbuf::rct

@@ -1,0 +1,38 @@
+// Re-rooting a routing tree at a different terminal.
+//
+// Multi-source nets (bidirectional busses, multi-driver control lines —
+// Lillis, DAC 1997, the extension the paper cites for Algorithm 3's
+// lineage) operate in modes: in each mode one terminal drives and every
+// other terminal receives. Electrically the tree is the same graph; only
+// the orientation of the wires flips along the path from the old source to
+// the new one. reroot() produces the mode's view: the chosen sink terminal
+// becomes the source (with the mode's driver parameters) and the old source
+// becomes a sink.
+#pragma once
+
+#include "rct/assignment.hpp"
+#include "rct/tree.hpp"
+
+namespace nbuf::rct {
+
+// The result of re-rooting: the re-oriented tree plus the node-id mapping
+// (old id -> new id), needed to carry buffer assignments across.
+struct RerootResult {
+  RoutingTree tree;
+  std::vector<NodeId> new_id_of;  // indexed by old NodeId value
+};
+
+// Builds the tree as seen when `new_source_sink` (a sink of `tree`) drives
+// with `driver`, and the old driver terminal becomes a sink described by
+// `old_source_as_sink` (its `node` field is ignored). Wire electricals are
+// preserved; only parent/child orientation changes. Buffer-allowed flags
+// carry over.
+[[nodiscard]] RerootResult reroot(const RoutingTree& tree,
+                                  NodeId new_source_sink, Driver driver,
+                                  SinkInfo old_source_as_sink);
+
+// Maps a buffer assignment through a reroot.
+[[nodiscard]] BufferAssignment map_assignment(const BufferAssignment& buffers,
+                                              const RerootResult& rr);
+
+}  // namespace nbuf::rct

@@ -1,0 +1,79 @@
+#include "rct/stage.hpp"
+
+#include "util/check.hpp"
+
+namespace nbuf::rct {
+
+namespace {
+
+// Builds the stage rooted at `root` and appends roots of downstream stages
+// (buffered nodes) to `next_roots`.
+Stage build_stage(const RoutingTree& tree, const BufferAssignment& buffers,
+                  const lib::BufferLibrary& lib, NodeId root,
+                  std::vector<NodeId>& next_roots) {
+  Stage st;
+  st.root = root;
+  if (root == tree.source()) {
+    st.driven_by_source = true;
+    st.driver_resistance = tree.driver().resistance;
+    st.driver_intrinsic_delay = tree.driver().intrinsic_delay;
+  } else {
+    NBUF_ASSERT(buffers.has_buffer(root));
+    st.driver_buffer = buffers.at(root);
+    const lib::BufferType& b = lib.at(st.driver_buffer);
+    st.driver_resistance = b.resistance;
+    st.driver_intrinsic_delay = b.intrinsic_delay;
+  }
+
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    st.nodes.push_back(id);
+    const Node& n = tree.node(id);
+
+    if (id != root && buffers.has_buffer(id)) {
+      // Boundary: this node's buffer input is a leaf of the current stage;
+      // its subtree starts the next stage.
+      StageSink leaf;
+      leaf.node = id;
+      leaf.is_buffer_input = true;
+      leaf.buffer = buffers.at(id);
+      leaf.cap = lib.at(leaf.buffer).input_cap;
+      leaf.noise_margin = lib.at(leaf.buffer).noise_margin;
+      st.sinks.push_back(leaf);
+      next_roots.push_back(id);
+      continue;
+    }
+    if (n.kind == NodeKind::Sink) {
+      const SinkInfo& si = tree.sink(n.sink);
+      StageSink leaf;
+      leaf.node = id;
+      leaf.is_buffer_input = false;
+      leaf.sink = n.sink;
+      leaf.cap = si.cap;
+      leaf.noise_margin = si.noise_margin;
+      st.sinks.push_back(leaf);
+      continue;
+    }
+    for (auto it = n.children.rbegin(); it != n.children.rend(); ++it)
+      stack.push_back(*it);
+  }
+  return st;
+}
+
+}  // namespace
+
+std::vector<Stage> decompose(const RoutingTree& tree,
+                             const BufferAssignment& buffers,
+                             const lib::BufferLibrary& lib) {
+  buffers.validate(tree, lib);
+  std::vector<Stage> stages;
+  std::vector<NodeId> roots{tree.source()};
+  for (std::size_t i = 0; i < roots.size(); ++i)
+    stages.push_back(build_stage(tree, buffers, lib, roots[i], roots));
+  NBUF_ASSERT(stages.size() == buffers.size() + 1);
+  return stages;
+}
+
+}  // namespace nbuf::rct

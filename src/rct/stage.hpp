@@ -1,0 +1,55 @@
+// Stage decomposition of a buffered routing tree.
+//
+// Assigning buffers to a tree T induces |M|+1 sub-nets ("stages" — the
+// paper's T(M, v) subtrees): each stage is the maximal subtree below a
+// restoring gate (the net's driver or an inserted buffer) containing no
+// further internal buffers. Delay composes across stages through the linear
+// gate delay model; noise does NOT propagate across stages because buffers
+// are restoring (Section II-B).
+//
+// The Elmore engine, the Devgan noise engine, and the golden transient
+// simulator all consume stages, so buffered-tree evaluation is written once.
+#pragma once
+
+#include <vector>
+
+#include "rct/assignment.hpp"
+#include "rct/tree.hpp"
+
+namespace nbuf::rct {
+
+// A leaf of a stage: either a true sink of the net, or the input pin of a
+// downstream inserted buffer.
+struct StageSink {
+  NodeId node;
+  double cap = 0.0;           // farad
+  double noise_margin = 0.0;  // volt
+  bool is_buffer_input = false;
+  lib::BufferId buffer;       // valid iff is_buffer_input
+  SinkId sink;                // valid iff !is_buffer_input
+};
+
+// One buffer-free sub-net of a buffered tree.
+struct Stage {
+  NodeId root;                 // net source or a buffered node
+  bool driven_by_source = false;
+  lib::BufferId driver_buffer; // valid iff !driven_by_source
+
+  // Driver electrical values (net driver or the inserted buffer).
+  double driver_resistance = 0.0;
+  double driver_intrinsic_delay = 0.0;
+
+  // Stage nodes in preorder starting at root. Boundary buffer nodes appear
+  // as stage leaves (their subtree belongs to the next stage).
+  std::vector<NodeId> nodes;
+  std::vector<StageSink> sinks;
+};
+
+// Decomposes tree+assignment into stages, root stage first, in preorder of
+// stage roots. The driver of stage k+1 is always a StageSink of some earlier
+// stage (or the net source).
+[[nodiscard]] std::vector<Stage> decompose(const RoutingTree& tree,
+                                           const BufferAssignment& buffers,
+                                           const lib::BufferLibrary& lib);
+
+}  // namespace nbuf::rct

@@ -1,0 +1,26 @@
+// Wire segmenting preprocessing (Alpert & Devgan, DAC 1997).
+//
+// Van Ginneken-style algorithms insert at most one buffer per wire, so long
+// wires must first be divided into shorter segments whose endpoints become
+// candidate buffer sites. Granularity trades solution quality for runtime
+// (the paper's footnote 3); ablation bench ablB_segmenting measures the
+// tradeoff.
+#pragma once
+
+#include <cstddef>
+
+#include "rct/tree.hpp"
+
+namespace nbuf::seg {
+
+struct Options {
+  // Wires longer than this are split into equal pieces no longer than it.
+  double max_segment_length = 500.0;  // µm
+};
+
+// Splits every over-long wire of `tree` into equal segments, creating
+// buffer-allowed internal nodes. Preserves total R, C, coupling current and
+// length exactly. Returns the number of nodes added.
+std::size_t segment(rct::RoutingTree& tree, const Options& options);
+
+}  // namespace nbuf::seg

@@ -1,0 +1,191 @@
+#include "sim/dense.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace nbuf::sim {
+
+DenseLu::DenseLu(std::vector<double> a, std::size_t n)
+    : lu_(std::move(a)), perm_(n), n_(n) {
+  NBUF_EXPECTS(lu_.size() == n * n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::abs(lu_[k * n + k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_[i * n + k]);
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (best == 0.0) throw std::invalid_argument("singular matrix in LU");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j)
+        std::swap(lu_[k * n + j], lu_[piv * n + j]);
+      std::swap(perm_[k], perm_[piv]);
+    }
+    const double d = lu_[k * n + k];
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_[i * n + k] / d;
+      lu_[i * n + k] = m;
+      for (std::size_t j = k + 1; j < n; ++j)
+        lu_[i * n + j] -= m * lu_[k * n + j];
+    }
+  }
+}
+
+void DenseLu::solve(std::vector<double>& b) const {
+  NBUF_EXPECTS(b.size() == n_);
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[perm_[i]];
+  // Forward substitution (unit lower factor).
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_[i * n_ + j] * x[j];
+  // Back substitution.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n_; ++j)
+      x[ii] -= lu_[ii * n_ + j] * x[j];
+    x[ii] /= lu_[ii * n_ + ii];
+  }
+  b = std::move(x);
+}
+
+std::size_t DenseCircuit::add_nodes(std::size_t count) {
+  const std::size_t first = nodes_ + 1;
+  nodes_ += count;
+  return first;
+}
+
+void DenseCircuit::add_resistor(std::size_t a, std::size_t b, double ohms) {
+  NBUF_EXPECTS(ohms > 0.0);
+  NBUF_EXPECTS(a <= nodes_ && b <= nodes_ && a != b);
+  res_.push_back({a, b, 1.0 / ohms});
+}
+
+void DenseCircuit::add_capacitor(std::size_t a, std::size_t b, double farads) {
+  NBUF_EXPECTS(farads >= 0.0);
+  NBUF_EXPECTS(a <= nodes_ && b <= nodes_ && a != b);
+  if (farads > 0.0) caps_.push_back({a, b, farads});
+}
+
+void DenseCircuit::add_current_source(std::size_t into,
+                                      std::function<double(double)> amps) {
+  NBUF_EXPECTS(into >= 1 && into <= nodes_);
+  srcs_.push_back({into, std::move(amps)});
+}
+
+void DenseCircuit::add_driven_node(std::size_t node, double ohms,
+                                   std::function<double(double)> volts) {
+  NBUF_EXPECTS(ohms > 0.0);
+  add_resistor(node, 0, ohms);
+  const double g = 1.0 / ohms;
+  add_current_source(node,
+                     [g, v = std::move(volts)](double t) { return g * v(t); });
+}
+
+std::vector<double> DenseCircuit::stamp_g() const {
+  std::vector<double> g(nodes_ * nodes_, 0.0);
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return g[(i - 1) * nodes_ + (j - 1)];
+  };
+  for (const Res& r : res_) {
+    if (r.a != 0) at(r.a, r.a) += r.g;
+    if (r.b != 0) at(r.b, r.b) += r.g;
+    if (r.a != 0 && r.b != 0) {
+      at(r.a, r.b) -= r.g;
+      at(r.b, r.a) -= r.g;
+    }
+  }
+  return g;
+}
+
+std::vector<double> DenseCircuit::stamp_c() const {
+  std::vector<double> c(nodes_ * nodes_, 0.0);
+  auto at = [&](std::size_t i, std::size_t j) -> double& {
+    return c[(i - 1) * nodes_ + (j - 1)];
+  };
+  for (const Cap& cp : caps_) {
+    if (cp.a != 0) at(cp.a, cp.a) += cp.c;
+    if (cp.b != 0) at(cp.b, cp.b) += cp.c;
+    if (cp.a != 0 && cp.b != 0) {
+      at(cp.a, cp.b) -= cp.c;
+      at(cp.b, cp.a) -= cp.c;
+    }
+  }
+  return c;
+}
+
+DenseCircuit::TransientResult DenseCircuit::transient(double t_end, double dt,
+                                                      Method method) const {
+  NBUF_EXPECTS(t_end > 0.0 && dt > 0.0 && dt < t_end);
+  NBUF_EXPECTS(nodes_ >= 1);
+  const std::size_t n = nodes_;
+  const auto g = stamp_g();
+  const auto c = stamp_c();
+
+  // System matrix: BE -> G + C/h; trapezoidal -> G + 2C/h.
+  const double cscale = method == Method::BackwardEuler ? 1.0 / dt : 2.0 / dt;
+  std::vector<double> a(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) a[i] = g[i] + cscale * c[i];
+  const DenseLu lu(std::move(a), n);
+
+  std::vector<double> v(n, 0.0);
+  std::vector<double> i_prev(n, 0.0);  // source vector at previous step
+  auto source_vec = [&](double t) {
+    std::vector<double> s(n, 0.0);
+    for (const Src& src : srcs_) s[src.into - 1] += src.amps(t);
+    return s;
+  };
+  i_prev = source_vec(0.0);
+
+  TransientResult out;
+  out.peak_abs.assign(n + 1, 0.0);
+
+  const auto steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * dt;
+    std::vector<double> rhs = source_vec(t);
+    if (method == Method::BackwardEuler) {
+      // rhs += (C/h) v_prev
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) acc += c[i * n + j] * v[j];
+        rhs[i] += acc / dt;
+      }
+    } else {
+      // Trapezoidal: (G + 2C/h) v_new = i(t) + i(t_prev) + (2C/h - G) v_prev
+      for (std::size_t i = 0; i < n; ++i) {
+        double gc = 0.0;
+        for (std::size_t j = 0; j < n; ++j)
+          gc += (2.0 / dt * c[i * n + j] - g[i * n + j]) * v[j];
+        rhs[i] += i_prev[i] + gc;
+      }
+      i_prev = source_vec(t);
+    }
+    lu.solve(rhs);
+    v = std::move(rhs);
+    for (std::size_t i = 0; i < n; ++i)
+      out.peak_abs[i + 1] = std::max(out.peak_abs[i + 1], std::abs(v[i]));
+  }
+  out.final_v.assign(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) out.final_v[i + 1] = v[i];
+  return out;
+}
+
+std::vector<double> DenseCircuit::dc(double t) const {
+  NBUF_EXPECTS(nodes_ >= 1);
+  const std::size_t n = nodes_;
+  const DenseLu lu(stamp_g(), n);
+  std::vector<double> rhs(n, 0.0);
+  for (const Src& src : srcs_) rhs[src.into - 1] += src.amps(t);
+  lu.solve(rhs);
+  std::vector<double> out(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) out[i + 1] = rhs[i];
+  return out;
+}
+
+}  // namespace nbuf::sim

@@ -1,0 +1,91 @@
+// Dense linear-circuit engine: MNA stamping + LU + backward-Euler /
+// trapezoidal transient.
+//
+// Serves as the reference ("golden of the golden") solver: it handles
+// arbitrary RC topologies including full bidirectional victim-aggressor
+// coupling, so it cross-checks both the O(n) tree solver and the Devgan
+// metric's upper-bound property. Complexity is O(n^3) for the one-time
+// factorization and O(n^2) per timestep, which is ample for per-stage
+// circuits (tens of nodes).
+//
+// Node 0 is ground. Voltage sources are expressed as Norton equivalents
+// (conductance + time-varying current source), keeping the system matrix
+// G + C/h symmetric positive definite and constant over the march.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace nbuf::sim {
+
+// LU factorization with partial pivoting of a dense square matrix.
+class DenseLu {
+ public:
+  // a is row-major n x n; throws std::invalid_argument on singularity.
+  DenseLu(std::vector<double> a, std::size_t n);
+
+  // Solves A x = b in place.
+  void solve(std::vector<double>& b) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::vector<double> lu_;
+  std::vector<std::size_t> perm_;
+  std::size_t n_;
+};
+
+class DenseCircuit {
+ public:
+  // Creates `count` circuit nodes (besides ground); returns the index of the
+  // first. Node indices are 1-based (0 is ground).
+  std::size_t add_nodes(std::size_t count);
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+
+  void add_resistor(std::size_t a, std::size_t b, double ohms);
+  void add_capacitor(std::size_t a, std::size_t b, double farads);
+  // Time-varying current source injecting `amps(t)` INTO node `into`.
+  void add_current_source(std::size_t into, std::function<double(double)> amps);
+  // Voltage source `volts(t)` behind `ohms` driving `node` (Norton form).
+  void add_driven_node(std::size_t node, double ohms,
+                       std::function<double(double)> volts);
+
+  struct TransientResult {
+    std::vector<double> peak_abs;   // per node (index 0 = ground, always 0)
+    std::vector<double> final_v;    // node voltages at t_end
+  };
+
+  enum class Method { BackwardEuler, Trapezoidal };
+
+  // Marches 0..t_end with fixed step dt from an all-zero initial state
+  // (sources evaluated from t=0). Records per-node peak |v|.
+  [[nodiscard]] TransientResult transient(double t_end, double dt,
+                                          Method method = Method::BackwardEuler) const;
+
+  // DC operating point for the given time (capacitors open).
+  [[nodiscard]] std::vector<double> dc(double t) const;
+
+ private:
+  struct Res {
+    std::size_t a, b;
+    double g;
+  };
+  struct Cap {
+    std::size_t a, b;
+    double c;
+  };
+  struct Src {
+    std::size_t into;
+    std::function<double(double)> amps;
+  };
+
+  [[nodiscard]] std::vector<double> stamp_g() const;
+  [[nodiscard]] std::vector<double> stamp_c() const;
+
+  std::size_t nodes_ = 0;  // excludes ground
+  std::vector<Res> res_;
+  std::vector<Cap> caps_;
+  std::vector<Src> srcs_;
+};
+
+}  // namespace nbuf::sim

@@ -1,0 +1,138 @@
+#include "sim/golden.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/stage_circuit.hpp"
+#include "sim/tree_solver.hpp"
+#include "util/check.hpp"
+
+namespace nbuf::sim {
+
+namespace {
+
+struct SimOut {
+  std::vector<double> peak;   // per sim node
+  std::vector<double> width;  // per sim node — time spent above peak/2
+};
+
+// Marches the stage circuit under aggressor excitation; records per-node
+// peak |v| and, in a cheap second pass over stored leaf samples, the pulse
+// width at half the peak.
+SimOut simulate(const StageCircuit& c, double driver_resistance,
+                const GoldenOptions& opt) {
+  NBUF_EXPECTS(driver_resistance > 0.0);
+  const std::size_t n = c.size();
+  const double h = opt.aggressor.rise / opt.steps_per_rise;
+
+  // Stage time constant estimate for the settling horizon.
+  double r_total = driver_resistance;
+  double c_total = 0.0;
+  for (std::size_t i = 1; i < n; ++i) r_total += 1.0 / c.branch_g[i];
+  for (std::size_t i = 0; i < n; ++i) c_total += c.total_cap(i);
+  const double t_end = opt.aggressor.t0 + opt.aggressor.rise +
+                       opt.settle_time_constants * r_total * c_total;
+
+  std::vector<double> extra(n, 0.0);
+  extra[0] = 1.0 / driver_resistance;  // victim driver holds quiet
+  for (std::size_t i = 0; i < n; ++i) extra[i] += c.total_cap(i) / h;
+  const TreeSolver solver(c.parent, c.branch_g, extra);
+
+  std::vector<double> v(n, 0.0);
+  std::vector<double> rhs(n);
+  SimOut out;
+  out.peak.assign(n, 0.0);
+  out.width.assign(n, 0.0);
+  const auto steps = static_cast<std::size_t>(std::ceil(t_end / h));
+  // Store full waveforms (n is small per stage) to measure widths after the
+  // peak is known.
+  std::vector<std::vector<double>> trace(n);
+  for (auto& tr : trace) tr.reserve(steps);
+  double va_prev = opt.aggressor.at(0.0);
+  for (std::size_t step = 1; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * h;
+    const double va = opt.aggressor.at(t);
+    const double dva = va - va_prev;
+    va_prev = va;
+    for (std::size_t i = 0; i < n; ++i) {
+      rhs[i] = c.total_cap(i) / h * v[i] + c.cap_couple[i] / h * dva;
+    }
+    solver.solve(rhs);
+    v = rhs;
+    for (std::size_t i = 0; i < n; ++i) {
+      out.peak[i] = std::max(out.peak[i], std::abs(v[i]));
+      trace[i].push_back(std::abs(v[i]));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double half = out.peak[i] / 2.0;
+    if (half <= 0.0) continue;
+    std::size_t above = 0;
+    for (double x : trace[i])
+      if (x >= half) ++above;
+    out.width[i] = static_cast<double>(above) * h;
+  }
+  return out;
+}
+
+}  // namespace
+
+GoldenOptions golden_options_from(const lib::Technology& tech) {
+  tech.validate();
+  GoldenOptions opt;
+  opt.coupling_ratio = tech.coupling_ratio;
+  opt.aggressor = SaturatedRamp{tech.vdd, tech.aggressor_rise, 0.0};
+  return opt;
+}
+
+std::vector<std::pair<rct::NodeId, double>> golden_stage_peaks(
+    const rct::RoutingTree& tree, const rct::Stage& stage,
+    const GoldenOptions& options) {
+  const StageCircuit c = build_stage_circuit(
+      tree, stage, options.coupling_ratio, options.section_length);
+  const SimOut sim_out = simulate(c, stage.driver_resistance, options);
+  std::vector<std::pair<rct::NodeId, double>> out;
+  out.reserve(c.sim_node_of.size());
+  for (const auto& [id, sim] : c.sim_node_of)
+    out.emplace_back(id, sim_out.peak[sim]);
+  return out;
+}
+
+GoldenReport golden_analyze(const rct::RoutingTree& tree,
+                            const rct::BufferAssignment& buffers,
+                            const lib::BufferLibrary& lib,
+                            const GoldenOptions& options) {
+  const auto stages = rct::decompose(tree, buffers, lib);
+  GoldenReport report;
+  report.sinks.resize(tree.sink_count());
+  report.worst_slack = std::numeric_limits<double>::infinity();
+  for (const rct::Stage& st : stages) {
+    const StageCircuit c = build_stage_circuit(
+        tree, st, options.coupling_ratio, options.section_length);
+    const SimOut sim_out = simulate(c, st.driver_resistance, options);
+    for (const rct::StageSink& s : st.sinks) {
+      GoldenLeaf leaf;
+      leaf.node = s.node;
+      leaf.is_buffer_input = s.is_buffer_input;
+      leaf.sink = s.sink;
+      leaf.peak = sim_out.peak[c.sim_node_of.at(s.node)];
+      leaf.width = sim_out.width[c.sim_node_of.at(s.node)];
+      leaf.margin = s.noise_margin;
+      leaf.slack = leaf.margin - leaf.peak;
+      report.leaves.push_back(leaf);
+      if (!s.is_buffer_input) report.sinks[s.sink.value()] = leaf;
+      report.worst_slack = std::min(report.worst_slack, leaf.slack);
+      if (leaf.slack < 0.0) ++report.violation_count;
+    }
+  }
+  return report;
+}
+
+GoldenReport golden_analyze_unbuffered(const rct::RoutingTree& tree,
+                                       const GoldenOptions& options) {
+  static const lib::BufferLibrary empty_lib;
+  return golden_analyze(tree, rct::BufferAssignment{}, empty_lib, options);
+}
+
+}  // namespace nbuf::sim

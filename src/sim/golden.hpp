@@ -1,0 +1,72 @@
+// Golden noise analysis: detailed transient simulation of every stage of a
+// (possibly buffered) net under saturated-ramp aggressor excitation.
+//
+// This is the repository's stand-in for the paper's 3dnoise tool: an
+// electrical analysis independent of the Devgan metric, used to (a) verify
+// that nets the metric calls clean are actually clean, and (b) demonstrate
+// the metric's conservatism (metric peak >= simulated peak).
+//
+// Model, matching the metric's estimation-mode assumptions (Section II-B):
+// one aggressor fully coupled along every wire with coupling ratio lambda;
+// the aggressor switches as an ideal saturated ramp; the victim driver
+// holds its output quiet through its linear output resistance; inserted
+// buffers are restoring (each stage simulates independently with its buffer
+// input pins as capacitive leaves). Victim wires are subdivided into short
+// pi-sections, so the distributed RC line is modeled faithfully; the
+// resulting tree system is solved by the O(n) TreeSolver per timestep.
+#pragma once
+
+#include <vector>
+
+#include "lib/technology.hpp"
+#include "rct/stage.hpp"
+#include "sim/waveform.hpp"
+
+namespace nbuf::sim {
+
+struct GoldenOptions {
+  double coupling_ratio = 0.0;  // lambda — fraction of wire cap that couples
+  SaturatedRamp aggressor;      // the switching neighbor
+  double section_length = 100.0;    // µm — pi-section granularity
+  double steps_per_rise = 200.0;    // timestep = rise / steps_per_rise
+  double settle_time_constants = 8.0;  // simulate rise + k * stage tau
+};
+
+// Estimation-mode options derived from the process technology.
+[[nodiscard]] GoldenOptions golden_options_from(const lib::Technology& tech);
+
+struct GoldenLeaf {
+  rct::NodeId node;
+  bool is_buffer_input = false;
+  rct::SinkId sink;      // valid iff !is_buffer_input
+  double peak = 0.0;     // volt — simulated peak noise
+  double margin = 0.0;   // volt
+  double slack = 0.0;    // margin - peak
+  double width = 0.0;    // second — pulse width at half the peak
+};
+
+struct GoldenReport {
+  std::vector<GoldenLeaf> leaves;
+  std::vector<GoldenLeaf> sinks;  // true sinks only, indexed by SinkId
+  double worst_slack = 0.0;
+  std::size_t violation_count = 0;
+  [[nodiscard]] bool clean() const noexcept { return violation_count == 0; }
+};
+
+// Simulates every stage of tree+buffers and reports per-leaf peak noise.
+[[nodiscard]] GoldenReport golden_analyze(const rct::RoutingTree& tree,
+                                          const rct::BufferAssignment& buffers,
+                                          const lib::BufferLibrary& lib,
+                                          const GoldenOptions& options);
+
+[[nodiscard]] GoldenReport golden_analyze_unbuffered(
+    const rct::RoutingTree& tree, const GoldenOptions& options);
+
+// Peak simulated noise at every node of a single stage (keyed by tree node;
+// wire-interior section nodes are not reported). Exposed for tests that
+// cross-check the tree solver against the dense engine.
+[[nodiscard]] std::vector<std::pair<rct::NodeId, double>> golden_stage_peaks(
+    const rct::RoutingTree& tree, const rct::Stage& stage,
+    const GoldenOptions& options);
+
+}  // namespace nbuf::sim

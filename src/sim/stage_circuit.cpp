@@ -1,0 +1,61 @@
+#include "sim/stage_circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace nbuf::sim {
+
+StageCircuit build_stage_circuit(const rct::RoutingTree& tree,
+                                 const rct::Stage& stage,
+                                 double coupling_ratio,
+                                 double section_length) {
+  NBUF_EXPECTS(coupling_ratio >= 0.0 && coupling_ratio < 1.0);
+  NBUF_EXPECTS(section_length > 0.0);
+  StageCircuit c;
+  auto new_node = [&](std::size_t parent, double g) {
+    c.parent.push_back(parent);
+    c.branch_g.push_back(g);
+    c.cap_ground.push_back(0.0);
+    c.cap_couple.push_back(0.0);
+    return c.parent.size() - 1;
+  };
+  new_node(0, 0.0);  // root
+  c.sim_node_of[stage.root] = 0;
+
+  const double lam = coupling_ratio;
+  for (rct::NodeId id : stage.nodes) {
+    if (id == stage.root) continue;
+    const rct::Node& n = tree.node(id);
+    const rct::Wire& w = n.parent_wire;
+    const std::size_t top = c.sim_node_of.at(n.parent);
+    if (w.resistance <= 0.0 && w.capacitance <= 0.0) {
+      // Binarization dummy: electrically the same point as the parent.
+      c.sim_node_of[id] = top;
+      continue;
+    }
+    const auto sections = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::ceil(w.length / section_length)));
+    const double r_sec =
+        std::max(w.resistance / static_cast<double>(sections), 1e-6);
+    const double c_sec = w.capacitance / static_cast<double>(sections);
+    std::size_t up = top;
+    for (std::size_t s = 0; s < sections; ++s) {
+      const std::size_t down = new_node(up, 1.0 / r_sec);
+      // pi-model: half of the section capacitance at each end; the lambda
+      // fraction couples to the aggressor, the rest goes to ground.
+      for (std::size_t end : {up, down}) {
+        c.cap_ground[end] += (1.0 - lam) * c_sec / 2.0;
+        c.cap_couple[end] += lam * c_sec / 2.0;
+      }
+      up = down;
+    }
+    c.sim_node_of[id] = up;
+  }
+  for (const rct::StageSink& s : stage.sinks)
+    c.cap_ground[c.sim_node_of.at(s.node)] += s.cap;
+  return c;
+}
+
+}  // namespace nbuf::sim

@@ -1,0 +1,42 @@
+// Flattened electrical model of one stage (buffer-free sub-net) of a
+// routing tree, shared by the golden noise analyzer, the step-delay
+// analyzer and the moment engine.
+//
+// Stage tree nodes plus wire-interior pi-section nodes form a resistor tree
+// rooted at the stage's driving gate; every node carries a grounded
+// capacitance and (for noise analysis) a capacitance coupled to the
+// aggressor waveform. Zero-length binarization dummies collapse onto their
+// parent node.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "rct/stage.hpp"
+
+namespace nbuf::sim {
+
+struct StageCircuit {
+  std::vector<std::size_t> parent;   // sim-node tree (0 = stage root)
+  std::vector<double> branch_g;      // conductance to parent (index >= 1)
+  std::vector<double> cap_ground;    // grounded capacitance per node
+  std::vector<double> cap_couple;    // capacitance to the aggressor ramp
+  std::unordered_map<rct::NodeId, std::size_t> sim_node_of;  // tree -> sim
+
+  [[nodiscard]] std::size_t size() const noexcept { return parent.size(); }
+  // Total capacitance (ground + couple) per node.
+  [[nodiscard]] double total_cap(std::size_t i) const {
+    return cap_ground[i] + cap_couple[i];
+  }
+};
+
+// Builds the circuit. Wires are subdivided into pi-sections no longer than
+// `section_length` (µm); `coupling_ratio` of every wire capacitance couples
+// to the aggressor, the rest is grounded. Leaf pin capacitances (sinks and
+// buffer inputs) go to ground.
+[[nodiscard]] StageCircuit build_stage_circuit(const rct::RoutingTree& tree,
+                                               const rct::Stage& stage,
+                                               double coupling_ratio,
+                                               double section_length);
+
+}  // namespace nbuf::sim

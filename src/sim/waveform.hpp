@@ -1,0 +1,28 @@
+// Aggressor excitation waveforms.
+#pragma once
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace nbuf::sim {
+
+// Saturated ramp: 0 until t0, linear rise to vdd over `rise`, then flat —
+// the aggressor model underlying both the Devgan metric (slope = vdd/rise)
+// and the golden transient analysis.
+struct SaturatedRamp {
+  double vdd = 0.0;   // volt
+  double rise = 0.0;  // second
+  double t0 = 0.0;    // second — start of the ramp
+
+  [[nodiscard]] double at(double t) const {
+    NBUF_EXPECTS(rise > 0.0);
+    return vdd * std::clamp((t - t0) / rise, 0.0, 1.0);
+  }
+  [[nodiscard]] double slope() const {
+    NBUF_EXPECTS(rise > 0.0);
+    return vdd / rise;
+  }
+};
+
+}  // namespace nbuf::sim

@@ -1,0 +1,70 @@
+#include "steiner/builders.hpp"
+
+#include <string>
+
+#include "util/check.hpp"
+
+namespace nbuf::steiner {
+
+namespace {
+
+rct::Wire wire_of(double length, const lib::Technology& tech) {
+  rct::Wire w;
+  w.length = length;
+  w.resistance = tech.wire_res(length);
+  w.capacitance = tech.wire_cap(length);
+  w.coupling_current = tech.wire_coupling_current(length);
+  return w;
+}
+
+}  // namespace
+
+rct::RoutingTree make_two_pin(double length, rct::Driver driver,
+                              rct::SinkInfo sink,
+                              const lib::Technology& tech) {
+  NBUF_EXPECTS(length > 0.0);
+  tech.validate();
+  rct::RoutingTree tree;
+  const rct::NodeId so = tree.make_source(std::move(driver));
+  tree.add_sink(so, wire_of(length, tech), std::move(sink));
+  tree.validate();
+  return tree;
+}
+
+rct::RoutingTree make_balanced_tree(int depth, double edge_length,
+                                    rct::Driver driver, rct::SinkInfo proto,
+                                    const lib::Technology& tech) {
+  NBUF_EXPECTS(depth >= 0);
+  NBUF_EXPECTS(edge_length > 0.0);
+  tech.validate();
+  rct::RoutingTree tree;
+  const rct::NodeId so = tree.make_source(std::move(driver));
+
+  // Levels 1..depth-1 are internal branch points; level `depth` holds the
+  // 2^depth sinks (depth == 0 degenerates to a two-pin net).
+  std::vector<rct::NodeId> frontier{so};
+  for (int level = 1; level < depth; ++level) {
+    std::vector<rct::NodeId> next;
+    next.reserve(frontier.size() * 2);
+    for (rct::NodeId parent : frontier) {
+      next.push_back(
+          tree.add_internal(parent, wire_of(edge_length, tech), "t"));
+      next.push_back(
+          tree.add_internal(parent, wire_of(edge_length, tech), "t"));
+    }
+    frontier = std::move(next);
+  }
+  int idx = 0;
+  const int sinks_per_frontier_node = depth == 0 ? 1 : 2;
+  for (rct::NodeId parent : frontier) {
+    for (int k = 0; k < sinks_per_frontier_node; ++k) {
+      rct::SinkInfo s = proto;
+      s.name = proto.name + "_" + std::to_string(idx++);
+      tree.add_sink(parent, wire_of(edge_length, tech), std::move(s));
+    }
+  }
+  tree.validate();
+  return tree;
+}
+
+}  // namespace nbuf::steiner

@@ -1,0 +1,25 @@
+// Convenience builders for common net shapes used by tests, examples and
+// benches: straight two-pin nets and balanced binary test trees.
+#pragma once
+
+#include "lib/technology.hpp"
+#include "rct/tree.hpp"
+
+namespace nbuf::steiner {
+
+// A straight two-pin net of the given routed length (µm), annotated from
+// `tech` with estimation-mode coupling current.
+[[nodiscard]] rct::RoutingTree make_two_pin(double length,
+                                            rct::Driver driver,
+                                            rct::SinkInfo sink,
+                                            const lib::Technology& tech);
+
+// A balanced binary tree with 2^depth sinks; every edge has length
+// `edge_length` (µm). All sinks share `proto` (names are suffixed).
+[[nodiscard]] rct::RoutingTree make_balanced_tree(int depth,
+                                                  double edge_length,
+                                                  rct::Driver driver,
+                                                  rct::SinkInfo proto,
+                                                  const lib::Technology& tech);
+
+}  // namespace nbuf::steiner

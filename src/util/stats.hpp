@@ -1,0 +1,28 @@
+// Small descriptive-statistics helpers used by the workload generator and
+// the experiment harnesses.
+#pragma once
+
+#include <map>
+#include <vector>
+
+namespace nbuf::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+// Descriptive summary of a sample; empty input yields a zeroed Summary.
+[[nodiscard]] Summary summarize(const std::vector<double>& xs);
+
+// p in [0, 1]; linear interpolation between order statistics.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+// Bucketed histogram keyed by integer value (e.g. sink counts, buffer
+// counts). Returns value -> occurrence count.
+[[nodiscard]] std::map<int, std::size_t> histogram(const std::vector<int>& xs);
+
+}  // namespace nbuf::util

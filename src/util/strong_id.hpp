@@ -1,0 +1,61 @@
+// Strongly-typed integer identifiers.
+//
+// EDA code juggles many parallel index spaces (nodes, wires, sinks, buffer
+// types, candidates). StrongId<Tag> makes mixing them a compile error while
+// remaining a trivially-copyable 4-byte value usable as a vector index.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace nbuf::util {
+
+template <class Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+  static constexpr underlying_type npos =
+      std::numeric_limits<underlying_type>::max();
+
+  constexpr StrongId() noexcept : value_(npos) {}
+  constexpr explicit StrongId(underlying_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept {
+    return value_;
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != npos;
+  }
+  [[nodiscard]] static constexpr StrongId invalid() noexcept {
+    return StrongId{};
+  }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) noexcept {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) noexcept {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) noexcept {
+    return a.value_ < b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (id.valid()) return os << id.value_;
+    return os << "<invalid>";
+  }
+
+ private:
+  underlying_type value_;
+};
+
+}  // namespace nbuf::util
+
+template <class Tag>
+struct std::hash<nbuf::util::StrongId<Tag>> {
+  std::size_t operator()(nbuf::util::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

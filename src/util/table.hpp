@@ -1,0 +1,35 @@
+// ASCII table rendering for bench output.
+//
+// The bench binaries regenerate the paper's tables; Table renders rows in a
+// fixed-width layout close to how the paper prints them, so EXPERIMENTS.md
+// can be filled by copy-paste.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nbuf::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Appends one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 1);
+  static std::string integer(long long v);
+  static std::string percent(double fraction, int precision = 2);
+
+  // Renders with a rule under the header, columns padded to content width.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nbuf::util

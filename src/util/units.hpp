@@ -1,0 +1,43 @@
+// Unit conventions and conversion constants.
+//
+// The library stores every electrical quantity in SI:
+//   resistance  — ohm            capacitance — farad
+//   time        — second         current     — ampere
+//   voltage     — volt           slope       — volt/second
+// Geometry is in micrometers (µm); per-unit wire parasitics are therefore
+// ohm/µm and farad/µm. All public APIs document their units in these terms.
+#pragma once
+
+namespace nbuf::units {
+
+// Time.
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+
+// Capacitance.
+inline constexpr double F = 1.0;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+
+// Resistance.
+inline constexpr double ohm = 1.0;
+inline constexpr double kohm = 1e3;
+
+// Current.
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+
+// Voltage.
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+
+// Geometry (library-internal length unit is the micrometer itself, so these
+// express other length units *in µm*).
+inline constexpr double um = 1.0;
+inline constexpr double mm = 1e3;
+
+}  // namespace nbuf::units

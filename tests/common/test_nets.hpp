@@ -1,0 +1,70 @@
+// Canonical nets shared across test suites.
+#pragma once
+
+#include "lib/buffer.hpp"
+#include "lib/technology.hpp"
+#include "rct/tree.hpp"
+#include "steiner/builders.hpp"
+#include "util/units.hpp"
+
+namespace nbuf::test {
+
+using namespace nbuf::units;
+
+inline rct::Driver default_driver(double res = 150.0,
+                                  double intrinsic = 30.0 * ps) {
+  return rct::Driver{"drv", res, intrinsic};
+}
+
+inline rct::SinkInfo default_sink(double cap = 10.0 * fF, double rat = 0.0,
+                                  double nm = 0.8, const char* name = "s0") {
+  rct::SinkInfo s;
+  s.name = name;
+  s.cap = cap;
+  s.required_arrival = rat;
+  s.noise_margin = nm;
+  return s;
+}
+
+// The worked example of the paper's Fig. 3: driver so, internal node n,
+// sinks s1 and s2, per-wire resistances and injected currents chosen as
+// explicit values so noise can be computed by hand:
+//   wire so->n : R = 100 ohm, i = 40 µA
+//   wire n->s1 : R = 200 ohm, i = 30 µA
+//   wire n->s2 : R = 150 ohm, i = 20 µA
+// Downstream currents: I(s1)=I(s2)=0, I(n)=50µA, I(so)=90µA.
+// With the pi-model (half of each wire's own current at its far end):
+//   Noise(so->n)  = 100 * (40/2 + 50) µA = 7.0 mV
+//   Noise(n->s1)  = 200 * (30/2 + 0)  µA = 3.0 mV
+//   Noise(n->s2)  = 150 * (20/2 + 0)  µA = 1.5 mV
+//   Noise at s1 = Rdrv*90µA + 7.0 + 3.0 mV ; at s2 = Rdrv*90µA + 7.0+1.5 mV
+struct Fig3Net {
+  rct::RoutingTree tree;
+  rct::NodeId n;
+  rct::NodeId s1;
+  rct::NodeId s2;
+};
+
+inline Fig3Net fig3_net(double driver_res = 100.0) {
+  Fig3Net f;
+  const rct::NodeId so = f.tree.make_source(default_driver(driver_res), "so");
+  rct::Wire w_n{/*length=*/1000.0, /*res=*/100.0, /*cap=*/200.0 * fF,
+                /*i=*/40.0 * uA};
+  f.n = f.tree.add_internal(so, w_n, "n");
+  rct::Wire w_s1{800.0, 200.0, 160.0 * fF, 30.0 * uA};
+  rct::Wire w_s2{600.0, 150.0, 120.0 * fF, 20.0 * uA};
+  f.s1 = f.tree.add_sink(f.n, w_s1, default_sink(10.0 * fF, 0.0, 0.8, "s1"));
+  f.s2 = f.tree.add_sink(f.n, w_s2, default_sink(12.0 * fF, 0.0, 0.8, "s2"));
+  f.tree.validate();
+  return f;
+}
+
+// A long two-pin net in the default technology that definitely violates the
+// 0.8 V noise margin when unbuffered.
+inline rct::RoutingTree long_two_pin(double length_um = 8000.0,
+                                     double driver_res = 150.0) {
+  return steiner::make_two_pin(length_um, default_driver(driver_res),
+                               default_sink(), lib::default_technology());
+}
+
+}  // namespace nbuf::test

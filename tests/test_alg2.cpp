@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "common/test_nets.hpp"
+#include "core/alg1_single_sink.hpp"
+#include "core/alg2_multi_sink.hpp"
+#include "noise/devgan.hpp"
+#include "seg/segment.hpp"
+#include "sim/golden.hpp"
+#include "steiner/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+rct::RoutingTree random_net(util::Rng& rng, int sinks, double span) {
+  std::vector<steiner::PinSpec> pins;
+  for (int i = 0; i < sinks; ++i) {
+    steiner::PinSpec p;
+    p.at = {rng.uniform(0.2 * span, span), rng.uniform(0, span)};
+    p.info = default_sink(rng.uniform(5 * fF, 30 * fF), 0.0, 0.8,
+                          ("s" + std::to_string(i)).c_str());
+    pins.push_back(p);
+  }
+  return steiner::build_tree({0, 0}, default_driver(rng.uniform(60, 300)),
+                             pins, lib::default_technology());
+}
+
+TEST(Alg2, CleanNetGetsNoBuffers) {
+  const auto f = test::fig3_net();
+  const auto res = core::avoid_noise_multi_sink(f.tree, kLib);
+  EXPECT_EQ(res.buffer_count, 0u);
+}
+
+TEST(Alg2, MatchesAlg1OnTwoPinNets) {
+  for (double len : {3000.0, 6000.0, 9000.0, 13000.0}) {
+    auto t1 = test::long_two_pin(len);
+    auto t2 = test::long_two_pin(len);
+    const auto r1 = core::avoid_noise_single_sink(t1, kLib);
+    const auto r2 = core::avoid_noise_multi_sink(t2, kLib);
+    EXPECT_EQ(r1.buffer_count, r2.buffer_count) << "length " << len;
+    const auto after = noise::analyze(r2.tree, r2.buffers, kLib);
+    EXPECT_EQ(after.violation_count, 0u);
+  }
+}
+
+TEST(Alg2, FixesViolatingBalancedTree) {
+  auto t = steiner::make_balanced_tree(3, 1500.0, default_driver(),
+                                       default_sink(),
+                                       lib::default_technology());
+  ASSERT_GT(noise::analyze_unbuffered(t).violation_count, 0u);
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  EXPECT_GT(res.buffer_count, 0u);
+  const auto after = noise::analyze(res.tree, res.buffers, kLib);
+  EXPECT_EQ(after.violation_count, 0u);
+}
+
+TEST(Alg2, GoldenSimulationConfirmsFix) {
+  auto t = steiner::make_balanced_tree(2, 2500.0, default_driver(),
+                                       default_sink(),
+                                       lib::default_technology());
+  const auto opt = sim::golden_options_from(lib::default_technology());
+  ASSERT_GT(sim::golden_analyze_unbuffered(t, opt).violation_count, 0u);
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  const auto golden = sim::golden_analyze(res.tree, res.buffers, kLib, opt);
+  EXPECT_EQ(golden.violation_count, 0u);
+}
+
+TEST(Alg2, MergeForkScenario) {
+  // Two branches individually legal but jointly violating at the merge:
+  // forces the Step-5/6 fork. Build a Y: short stem, two medium branches.
+  const auto tech = lib::default_technology();
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(400.0));
+  auto wire_of = [&](double len) {
+    return rct::Wire{len, tech.wire_res(len), tech.wire_cap(len),
+                     tech.wire_coupling_current(len)};
+  };
+  const auto mid = t.add_internal(so, wire_of(300.0), "stem");
+  t.add_sink(mid, wire_of(2300.0), default_sink(10 * fF, 0, 0.8, "l"));
+  t.add_sink(mid, wire_of(2300.0), default_sink(10 * fF, 0, 0.8, "r"));
+  t.validate();
+  ASSERT_GT(noise::analyze_unbuffered(t).violation_count, 0u);
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  const auto after = noise::analyze(res.tree, res.buffers, kLib);
+  EXPECT_EQ(after.violation_count, 0u);
+  EXPECT_GE(res.buffer_count, 1u);
+}
+
+TEST(Alg2, HighFanoutBinarizedTree) {
+  const auto tech = lib::default_technology();
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(150.0));
+  auto wire_of = [&](double len) {
+    return rct::Wire{len, tech.wire_res(len), tech.wire_cap(len),
+                     tech.wire_coupling_current(len)};
+  };
+  const auto hub = t.add_internal(so, wire_of(2000.0), "hub");
+  for (int i = 0; i < 6; ++i)
+    t.add_sink(hub, wire_of(1800.0),
+               default_sink(10 * fF, 0, 0.8, ("s" + std::to_string(i)).c_str()));
+  t.binarize();
+  ASSERT_GT(noise::analyze_unbuffered(t).violation_count, 0u);
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  const auto after = noise::analyze(res.tree, res.buffers, kLib);
+  EXPECT_EQ(after.violation_count, 0u);
+}
+
+TEST(Alg2, RequiresBinaryTree) {
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver());
+  const auto hub = t.add_internal(so, rct::Wire{100, 10, 1 * fF, 0});
+  for (int i = 0; i < 3; ++i)
+    t.add_sink(hub, rct::Wire{50, 5, 1 * fF, 0},
+               default_sink(5 * fF, 0, 0.8, ("s" + std::to_string(i)).c_str()));
+  EXPECT_THROW((void)core::avoid_noise_multi_sink(t, kLib),
+               std::invalid_argument);
+}
+
+TEST(Alg2, RandomSteinerNetsAlwaysFixed) {
+  util::Rng rng(4242);
+  int violating = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    auto t = random_net(rng, rng.uniform_int(2, 8),
+                        rng.uniform(4000.0, 10000.0));
+    const bool had = noise::analyze_unbuffered(t).violation_count > 0;
+    violating += had ? 1 : 0;
+    const auto res = core::avoid_noise_multi_sink(t, kLib);
+    const auto after = noise::analyze(res.tree, res.buffers, kLib);
+    EXPECT_EQ(after.violation_count, 0u) << "trial " << trial;
+    if (!had) {
+      EXPECT_EQ(res.buffer_count, 0u);
+    }
+  }
+  EXPECT_GT(violating, 5);  // the workload really exercises the algorithm
+}
+
+TEST(Alg2, WeakDriverSourceGuard) {
+  auto t = steiner::make_balanced_tree(2, 900.0, default_driver(5000.0),
+                                       default_sink(),
+                                       lib::default_technology());
+  ASSERT_GT(noise::analyze_unbuffered(t).violation_count, 0u);
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  const auto after = noise::analyze(res.tree, res.buffers, kLib);
+  EXPECT_EQ(after.violation_count, 0u);
+  EXPECT_GE(res.buffer_count, 1u);
+}
+
+TEST(Alg2, StatsAreTracked) {
+  auto t = steiner::make_balanced_tree(3, 1500.0, default_driver(),
+                                       default_sink(),
+                                       lib::default_technology());
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  EXPECT_GT(res.stats.candidates_created, 0u);
+  EXPECT_GE(res.stats.max_list_size, 1u);
+}
+
+TEST(Alg2, NeverWorseThanBestDiscreteSolution) {
+  // Alg 2 places buffers continuously (Theorem 1 positions), so its count
+  // must never exceed the best achievable on any finite segmentation.
+  util::Rng rng(5150);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto t = random_net(rng, rng.uniform_int(2, 3),
+                        rng.uniform(3500.0, 6000.0));
+    auto discrete = t;
+    seg::segment(discrete, {600.0});
+    // Exhaustive minimum over <= 2^sites subsets with the noise buffer type
+    // (skip when too many sites).
+    std::vector<rct::NodeId> sites;
+    for (auto id : discrete.preorder())
+      if (discrete.node(id).kind == rct::NodeKind::Internal &&
+          discrete.node(id).buffer_allowed)
+        sites.push_back(id);
+    if (sites.size() > 14) continue;
+    const lib::BufferId bid = core::noise_buffer_choice(kLib);
+    std::size_t best = SIZE_MAX;
+    for (std::size_t mask = 0; mask < (1u << sites.size()); ++mask) {
+      rct::BufferAssignment a;
+      for (std::size_t i = 0; i < sites.size(); ++i)
+        if (mask & (1u << i)) a.place(sites[i], bid);
+      if (a.size() >= best) continue;
+      if (noise::analyze(discrete, a, kLib).clean()) best = a.size();
+    }
+    ASSERT_NE(best, SIZE_MAX);
+    const auto res = core::avoid_noise_multi_sink(t, kLib);
+    EXPECT_LE(res.buffer_count, best) << "trial " << trial;
+  }
+}
+
+TEST(Alg2, BufferCountIsMinimalOnForkCase) {
+  // For the Y net above, one buffer on one branch (plus none elsewhere)
+  // suffices; the optimal algorithm must not use more than two.
+  const auto tech = lib::default_technology();
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(400.0));
+  auto wire_of = [&](double len) {
+    return rct::Wire{len, tech.wire_res(len), tech.wire_cap(len),
+                     tech.wire_coupling_current(len)};
+  };
+  const auto mid = t.add_internal(so, wire_of(300.0), "stem");
+  t.add_sink(mid, wire_of(2300.0), default_sink(10 * fF, 0, 0.8, "l"));
+  t.add_sink(mid, wire_of(2300.0), default_sink(10 * fF, 0, 0.8, "r"));
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  EXPECT_LE(res.buffer_count, 2u);
+}
+
+}  // namespace

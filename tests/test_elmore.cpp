@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/test_nets.hpp"
+#include "elmore/elmore.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+// --- two-pin analytic check -----------------------------------------------
+
+TEST(Elmore, TwoPinMatchesClosedForm) {
+  const double len = 2000.0;
+  const auto tech = lib::default_technology();
+  const double r_drv = 150.0, d_drv = 30.0 * ps, c_sink = 10.0 * fF;
+  auto t = steiner::make_two_pin(len, default_driver(r_drv, d_drv),
+                                 default_sink(c_sink), tech);
+  const auto rep = elmore::analyze_unbuffered(t);
+  const double rw = tech.wire_res(len), cw = tech.wire_cap(len);
+  const double expected =
+      d_drv + r_drv * (cw + c_sink) + rw * (cw / 2.0 + c_sink);
+  ASSERT_EQ(rep.sinks.size(), 1u);
+  EXPECT_NEAR(rep.sinks[0].delay, expected, expected * 1e-12);
+  EXPECT_DOUBLE_EQ(rep.max_delay, rep.sinks[0].delay);
+}
+
+TEST(Elmore, DelayGrowsQuadraticallyWithLength) {
+  // Doubling an unbuffered wire's length should far more than double delay.
+  const auto d1 = elmore::analyze_unbuffered(test::long_two_pin(4000.0));
+  const auto d2 = elmore::analyze_unbuffered(test::long_two_pin(8000.0));
+  EXPECT_GT(d2.max_delay, 2.5 * d1.max_delay);
+}
+
+TEST(Elmore, SlackIsRatMinusDelay) {
+  auto t = steiner::make_two_pin(1000.0, default_driver(),
+                                 default_sink(10 * fF, 1.0 * ns),
+                                 lib::default_technology());
+  const auto rep = elmore::analyze_unbuffered(t);
+  EXPECT_NEAR(rep.sinks[0].slack, 1.0 * ns - rep.sinks[0].delay, 1e-18);
+  EXPECT_DOUBLE_EQ(rep.worst_slack, rep.sinks[0].slack);
+}
+
+// --- multi-sink trees --------------------------------------------------------
+
+TEST(Elmore, Fig3DelaysByHand) {
+  const auto f = test::fig3_net(100.0);
+  const auto rep = elmore::analyze_unbuffered(f.tree);
+  // Loads: C(s1)=10fF, C(s2)=12fF, C(n)=160+10+120+12 fF = 302fF,
+  // C(so)=302+200=502fF.
+  // delay(s1) = Ddrv + 100*502f + 100*(200f/2+302f) + 200*(160f/2+10f)
+  const double d_drv = 30.0 * ps;
+  const double expect_s1 = d_drv + 100 * 502e-15 + 100 * (100e-15 + 302e-15) +
+                           200 * (80e-15 + 10e-15);
+  const double expect_s2 = d_drv + 100 * 502e-15 + 100 * (100e-15 + 302e-15) +
+                           150 * (60e-15 + 12e-15);
+  EXPECT_NEAR(rep.sinks[0].delay, expect_s1, 1e-18);
+  EXPECT_NEAR(rep.sinks[1].delay, expect_s2, 1e-18);
+}
+
+TEST(Elmore, BalancedTreeIsSymmetric) {
+  auto t = steiner::make_balanced_tree(3, 500.0, default_driver(),
+                                       default_sink(),
+                                       lib::default_technology());
+  const auto rep = elmore::analyze_unbuffered(t);
+  ASSERT_EQ(rep.sinks.size(), 8u);
+  for (const auto& s : rep.sinks)
+    EXPECT_NEAR(s.delay, rep.sinks[0].delay, rep.sinks[0].delay * 1e-9);
+}
+
+TEST(Elmore, StageLoadsMatchHand) {
+  const auto f = test::fig3_net();
+  const auto stages =
+      rct::decompose(f.tree, rct::BufferAssignment{}, lib::BufferLibrary{});
+  const auto loads = elmore::stage_loads(f.tree, stages[0]);
+  EXPECT_NEAR(loads.at(f.s1), 10 * fF, 1e-21);
+  EXPECT_NEAR(loads.at(f.n), (160 + 10 + 120 + 12) * fF, 1e-21);
+  EXPECT_NEAR(loads.at(f.tree.source()), 502 * fF, 1e-21);
+}
+
+// --- buffered evaluation --------------------------------------------------------
+
+TEST(Elmore, BufferedTwoPinComposesStages) {
+  const double len = 4000.0;
+  const auto tech = lib::default_technology();
+  const auto l = lib::default_library();
+  const lib::BufferId bid{7};  // buf_x4
+  const auto& b = l.at(bid);
+  auto t = steiner::make_two_pin(len, default_driver(150.0, 30 * ps),
+                                 default_sink(10 * fF), tech);
+  const auto mid = t.split_wire(t.sinks().front().node, 2000.0);
+  rct::BufferAssignment a;
+  a.place(mid, bid);
+  const auto rep = elmore::analyze(t, a, l);
+
+  const double rw = tech.wire_res(2000.0), cw = tech.wire_cap(2000.0);
+  const double stage1 =
+      30 * ps + 150.0 * (cw + b.input_cap) + rw * (cw / 2 + b.input_cap);
+  const double stage2 = b.intrinsic_delay +
+                        b.resistance * (cw + 10 * fF) +
+                        rw * (cw / 2 + 10 * fF);
+  EXPECT_NEAR(rep.sinks[0].delay, stage1 + stage2, 1e-16);
+}
+
+TEST(Elmore, BufferDecouplesLoadFromDriver) {
+  // Placing a buffer right after a branch point hides the branch's cap from
+  // the upstream driver, reducing the other sink's delay.
+  auto f1 = test::fig3_net();
+  auto f2 = test::fig3_net();
+  const auto l = lib::default_library();
+  rct::BufferAssignment none;
+  rct::BufferAssignment shield;
+  const auto mid = f2.tree.split_wire(f2.s1, 799.0);  // top of n->s1 wire
+  shield.place(mid, lib::BufferId{5});                // weak buf_x1
+  const auto d_plain = elmore::analyze(f1.tree, none, l);
+  const auto d_shield = elmore::analyze(f2.tree, shield, l);
+  // s2 (index 1) sees less upstream load with the shield in place.
+  EXPECT_LT(d_shield.sinks[1].delay, d_plain.sinks[1].delay);
+}
+
+TEST(Elmore, LongNetBenefitsFromBuffering) {
+  const auto tech = lib::default_technology();
+  const auto l = lib::default_library();
+  auto t = steiner::make_two_pin(10000.0, default_driver(), default_sink(),
+                                 tech);
+  const auto unbuf = elmore::analyze_unbuffered(t);
+  // Insert three evenly spaced strong buffers.
+  rct::BufferAssignment a;
+  auto sink = t.sinks().front().node;
+  auto m1 = t.split_wire(sink, 2500.0);
+  auto m2 = t.split_wire(m1, 2500.0);
+  auto m3 = t.split_wire(m2, 2500.0);
+  for (auto m : {m1, m2, m3}) a.place(m, lib::BufferId{8});  // buf_x8
+  const auto buf = elmore::analyze(t, a, l);
+  EXPECT_LT(buf.max_delay, unbuf.max_delay);
+}
+
+TEST(Elmore, ZeroLengthDummiesAreTransparent) {
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver());
+  const auto hub = t.add_internal(so, rct::Wire{100, 10, 20 * fF, 0});
+  for (int i = 0; i < 3; ++i)
+    t.add_sink(hub, rct::Wire{50, 5, 10 * fF, 0},
+               default_sink(5 * fF, 0.0, 0.8, ("s" + std::to_string(i)).c_str()));
+  const auto before = elmore::analyze_unbuffered(t);
+  t.binarize();
+  const auto after = elmore::analyze_unbuffered(t);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(before.sinks[i].delay, after.sinks[i].delay, 1e-20);
+}
+
+}  // namespace

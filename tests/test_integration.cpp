@@ -1,0 +1,145 @@
+// Cross-module integration tests: the Section V experimental pipeline on a
+// reduced testbench.
+#include <gtest/gtest.h>
+
+#include "core/alg2_multi_sink.hpp"
+#include "core/tool.hpp"
+#include "netgen/netgen.hpp"
+#include "noise/devgan.hpp"
+#include "sim/golden.hpp"
+
+namespace {
+
+using namespace nbuf;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+std::vector<netgen::GeneratedNet> bench(std::size_t n, std::uint64_t seed) {
+  netgen::TestbenchOptions o;
+  o.net_count = n;
+  o.seed = seed;
+  return netgen::generate_testbench(kLib, o);
+}
+
+TEST(Integration, BuffOptFixesEveryMetricViolation) {
+  for (const auto& net : bench(25, 101)) {
+    const auto res = core::run_buffopt(net.tree, kLib);
+    ASSERT_TRUE(res.vg.feasible) << net.name;
+    EXPECT_EQ(res.noise_after.violation_count, 0u) << net.name;
+  }
+}
+
+TEST(Integration, GoldenToolConfirmsBuffOpt) {
+  // The 3dnoise-style check of Table II: after BuffOpt, the detailed
+  // simulator finds zero violations as well.
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  for (const auto& net : bench(12, 202)) {
+    const auto res = core::run_buffopt(net.tree, kLib);
+    const auto golden =
+        sim::golden_analyze(res.tree, res.vg.buffers, kLib, gopt);
+    EXPECT_EQ(golden.violation_count, 0u) << net.name;
+  }
+}
+
+TEST(Integration, MetricIsConservativeVsGolden) {
+  // Every golden-detected violation is also metric-detected (Table II's
+  // "423 >= 386" relationship), per net.
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  std::size_t metric_flagged = 0, golden_flagged = 0;
+  for (const auto& net : bench(20, 303)) {
+    const bool m = !noise::analyze_unbuffered(net.tree).clean();
+    const bool g =
+        sim::golden_analyze_unbuffered(net.tree, gopt).violation_count > 0;
+    metric_flagged += m;
+    golden_flagged += g;
+    if (g) {
+      EXPECT_TRUE(m) << net.name << ": golden flagged but metric not";
+    }
+  }
+  EXPECT_GE(metric_flagged, golden_flagged);
+  EXPECT_GT(golden_flagged, 0u);
+}
+
+TEST(Integration, DelayOptLeavesViolationsSomewhere) {
+  // Theorem 2 at workload level: across a noisy workload, delay-only
+  // buffering with a small budget does not fix everything.
+  std::size_t leftovers = 0;
+  for (const auto& net : bench(20, 404)) {
+    const auto res = core::run_delayopt(net.tree, kLib, 2);
+    leftovers += res.noise_after.violation_count > 0 ? 1 : 0;
+  }
+  EXPECT_GT(leftovers, 0u);
+}
+
+TEST(Integration, BuffOptDelayPenaltyIsSmallOnAverage) {
+  // Table IV: at matched buffer counts, BuffOpt's delay is within a few
+  // percent of DelayOpt's.
+  double buff_total = 0.0, delay_total = 0.0;
+  std::size_t counted = 0;
+  for (const auto& net : bench(20, 505)) {
+    const auto b = core::run_buffopt(net.tree, kLib);
+    if (b.vg.buffer_count == 0) continue;
+    const auto d = core::run_delayopt(net.tree, kLib, b.vg.buffer_count);
+    buff_total += b.timing_after.max_delay;
+    delay_total += d.timing_after.max_delay;
+    ++counted;
+  }
+  ASSERT_GT(counted, 5u);
+  EXPECT_LE(buff_total, delay_total * 1.05);
+  // DelayOpt is the unconstrained optimum, so it can only be faster.
+  EXPECT_GE(buff_total, delay_total * 0.999);
+}
+
+TEST(Integration, Alg2AndBuffOptBothClean) {
+  // Problem 1 (Alg 2) and Problem 2/3 (Alg 3) answers are both noise-clean;
+  // Alg 2 never uses more buffers than the noise-minimal BuffOpt count on
+  // single-sink nets... on trees we only require both clean.
+  for (const auto& net : bench(10, 606)) {
+    const auto a2 = core::avoid_noise_multi_sink(net.tree, kLib);
+    EXPECT_TRUE(noise::analyze(a2.tree, a2.buffers, kLib).clean())
+        << net.name;
+    const auto a3 = core::run_buffopt(net.tree, kLib);
+    EXPECT_TRUE(a3.noise_after.clean()) << net.name;
+  }
+}
+
+TEST(Integration, BuffOptRuntimeComparableToDelayOpt) {
+  // Table III's CPU observation: at a matched buffer-count cap, BuffOpt's
+  // noise pruning explores no more candidates than DelayOpt, so its runtime
+  // is comparable (the bound is relaxed for timer jitter).
+  double t_buff = 0.0, t_delay = 0.0;
+  std::size_t c_buff = 0, c_delay = 0;
+  for (const auto& net : bench(15, 707)) {
+    core::ToolOptions opt;
+    opt.vg.max_buffers = 4;
+    const auto b = core::run_buffopt(net.tree, kLib, opt);
+    const auto d = core::run_delayopt(net.tree, kLib, 4);
+    t_buff += b.optimize_seconds;
+    t_delay += d.optimize_seconds;
+    c_buff += b.vg.candidates_created;
+    c_delay += d.vg.candidates_created;
+  }
+  EXPECT_LE(c_buff, c_delay);  // the paper's mechanism, exactly
+  // The wall-clock consequence (BuffOpt CPU <= DelayOpt CPU at matched
+  // budget) is asserted by bench/table3_buffopt_vs_delayopt, where the run
+  // is not perturbed by parallel test load; here only require the timers
+  // to have measured something.
+  EXPECT_GE(t_buff + t_delay, 0.0);
+}
+
+TEST(Integration, SegmentationGranularityImprovesSlack) {
+  // Alpert-Devgan tradeoff: finer segmenting cannot make the optimum worse.
+  const auto nets = bench(5, 808);
+  for (const auto& net : nets) {
+    core::ToolOptions coarse, fine;
+    coarse.segmenting.max_segment_length = 2000.0;
+    fine.segmenting.max_segment_length = 250.0;
+    coarse.vg.noise_constraints = false;
+    fine.vg.noise_constraints = false;
+    const auto rc = core::run(net.tree, kLib, coarse);
+    const auto rf = core::run(net.tree, kLib, fine);
+    EXPECT_GE(rf.vg.slack, rc.vg.slack - 1e-15) << net.name;
+  }
+}
+
+}  // namespace

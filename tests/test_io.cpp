@@ -1,0 +1,307 @@
+// Net-file parser/writer: happy paths, round-trips, and failure injection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+#include "common/test_nets.hpp"
+#include "core/tool.hpp"
+#include "io/netfile.hpp"
+#include "noise/devgan.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+io::NetFile parse(const std::string& text) {
+  std::istringstream in(text);
+  return io::read_net(in, kLib);
+}
+
+const char* kBasicNet = R"(
+# a comment
+name demo
+tech 0.073 0.21 1.8 250 0.7
+driver drv 150 30
+node mid source 1000
+sink s0 mid 2000 15 1400 0.8
+)";
+
+TEST(NetFileRead, BasicNet) {
+  const auto net = parse(kBasicNet);
+  EXPECT_EQ(net.name, "demo");
+  EXPECT_EQ(net.tree.node_count(), 3u);
+  EXPECT_EQ(net.tree.sink_count(), 1u);
+  ASSERT_TRUE(net.tech.has_value());
+  EXPECT_DOUBLE_EQ(net.tech->coupling_ratio, 0.7);
+  EXPECT_DOUBLE_EQ(net.tree.driver().resistance, 150.0);
+  EXPECT_NEAR(net.tree.driver().intrinsic_delay, 30 * ps, 1e-18);
+}
+
+TEST(NetFileRead, UnitsAreConverted) {
+  const auto net = parse(kBasicNet);
+  const auto& s = net.tree.sinks().front();
+  EXPECT_NEAR(s.cap, 15 * fF, 1e-20);
+  EXPECT_NEAR(s.required_arrival, 1400 * ps, 1e-15);
+  EXPECT_DOUBLE_EQ(s.noise_margin, 0.8);
+  // Wire electricals derived from tech.
+  const auto& w = net.tree.node(s.node).parent_wire;
+  EXPECT_NEAR(w.resistance, 0.073 * 2000.0, 1e-9);
+  EXPECT_NEAR(w.capacitance, 0.21 * fF * 2000.0, 1e-22);
+}
+
+TEST(NetFileRead, ExplicitWireElectricals) {
+  const auto net = parse(R"(
+driver drv 100 0
+node a source 1000 50 200 300
+sink s a 1000 10 0 0.8 60 250 400
+)");
+  const auto a = net.tree.node(net.tree.source()).children.front();
+  EXPECT_DOUBLE_EQ(net.tree.node(a).parent_wire.resistance, 50.0);
+  EXPECT_NEAR(net.tree.node(a).parent_wire.capacitance, 200 * fF, 1e-20);
+  EXPECT_NEAR(net.tree.node(a).parent_wire.coupling_current, 300 * uA,
+              1e-12);
+  const auto& sw = net.tree.node(net.tree.sinks().front().node).parent_wire;
+  EXPECT_DOUBLE_EQ(sw.resistance, 60.0);
+}
+
+TEST(NetFileRead, InvertedFlagAndBufferLines) {
+  const auto net = parse(R"(
+tech 0.073 0.21 1.8 250 0.7
+driver drv 150 30
+node mid source 1000
+sink s0 mid 500 10 0 0.8 inverted
+buffer mid buf_x8
+)");
+  EXPECT_TRUE(net.tree.sinks().front().require_inverted);
+  EXPECT_EQ(net.buffers.size(), 1u);
+}
+
+TEST(NetFileRead, CommentsAndBlankLinesIgnored) {
+  const auto net = parse(R"(
+
+# full line comment
+tech 0.073 0.21 1.8 250 0.7   # trailing comment
+driver drv 150 30  # another
+
+sink s0 source 500 10 0 0.8
+)");
+  EXPECT_EQ(net.tree.sink_count(), 1u);
+}
+
+// --- failure injection ----------------------------------------------------------
+
+void expect_error(const std::string& text, const char* needle) {
+  try {
+    (void)parse(text);
+    FAIL() << "expected ParseError containing '" << needle << "'";
+  } catch (const io::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NetFileErrors, UnknownKeyword) {
+  expect_error(
+      "driver d 1 0\nsink s source 1 1 0 0.8 1 1 1\nfrobnicate x\n",
+      "unknown keyword");
+}
+
+TEST(NetFileErrors, MissingDriver) {
+  expect_error("tech 0.073 0.21 1.8 250 0.7\n", "no driver");
+}
+
+TEST(NetFileErrors, NodesBeforeDriver) {
+  expect_error("node a source 100\n", "driver line must precede");
+}
+
+TEST(NetFileErrors, DuplicateDriver) {
+  expect_error("driver a 1 0\ndriver b 1 0\n", "duplicate driver");
+}
+
+TEST(NetFileErrors, UnknownParent) {
+  expect_error("driver d 1 0\nnode a nope 100 1 1 1\n", "unknown parent");
+}
+
+TEST(NetFileErrors, DuplicateName) {
+  expect_error(
+      "driver d 1 0\nnode a source 1 1 1 1\nnode a source 1 1 1 1\n",
+      "duplicate node name");
+}
+
+TEST(NetFileErrors, ImplicitWireWithoutTech) {
+  expect_error("driver d 1 0\nnode a source 100\n", "no `tech` line");
+}
+
+TEST(NetFileErrors, BadNumber) {
+  expect_error("driver d abc 0\n", "expected number");
+}
+
+TEST(NetFileErrors, NegativeElectricals) {
+  expect_error("driver d 1 0\nnode a source 1 -5 1 1\n", "negative");
+}
+
+TEST(NetFileErrors, BadNoiseMargin) {
+  expect_error("driver d 1 0\nsink s source 1 1 0 0 1 1 1\n",
+               "noise margin");
+}
+
+TEST(NetFileErrors, PartialSinkElectricals) {
+  expect_error("driver d 1 0\nsink s source 1 1 0 0.8 5 5\n",
+               "exactly 3 numbers");
+}
+
+TEST(NetFileErrors, UnknownBufferType) {
+  expect_error(
+      "tech 0.073 0.21 1.8 250 0.7\ndriver d 1 0\nnode a source 1\n"
+      "sink s a 1 1 0 0.8\nbuffer a not_a_buffer\n",
+      "unknown buffer type");
+}
+
+TEST(NetFileErrors, TrailingGarbageOnSink) {
+  expect_error("driver d 1 0\nsink s source 1 1 0 0.8 banana\n",
+               "unexpected trailing token");
+}
+
+TEST(NetFileErrors, NoSinks) {
+  expect_error("tech 0.073 0.21 1.8 250 0.7\ndriver d 1 0\n"
+               "node a source 10\n",
+               "no sinks");
+}
+
+TEST(NetFileErrors, LineNumberIsReported) {
+  try {
+    (void)parse("driver d 1 0\n\n\nnode a nope 1 1 1 1\n");
+    FAIL();
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.line(), 4u);
+  }
+}
+
+// --- fuzz: the parser must fail cleanly, never crash -----------------------------
+
+TEST(NetFileFuzz, RandomTokenSoupAlwaysThrowsCleanly) {
+  util::Rng rng(31337);
+  const std::vector<std::string> words = {
+      "driver", "node",  "sink",   "tech", "buffer", "name", "source",
+      "1",      "-3.5",  "1e300",  "nan",  "inf",    "x",    "inverted",
+      "#",      "",      "bufx99", "0",
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    const int lines = rng.uniform_int(1, 12);
+    for (int l = 0; l < lines; ++l) {
+      const int toks = rng.uniform_int(0, 8);
+      for (int k = 0; k < toks; ++k) {
+        text += words[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(words.size()) - 1))];
+        text += ' ';
+      }
+      text += '\n';
+    }
+    try {
+      const auto net = parse(text);
+      // Accepted inputs must at least be structurally valid.
+      net.tree.validate();
+    } catch (const io::ParseError&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+}
+
+TEST(NetFileFuzz, MutatedValidFileNeverCrashes) {
+  util::Rng rng(777);
+  const std::string base(kBasicNet);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text = base;
+    // Random single-character mutations.
+    const int edits = rng.uniform_int(1, 6);
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(text.size()) - 1));
+      const char c = static_cast<char>(rng.uniform_int(32, 126));
+      if (rng.chance(0.5)) {
+        text[pos] = c;
+      } else {
+        text.insert(pos, 1, c);
+      }
+    }
+    try {
+      const auto net = parse(text);
+      net.tree.validate();
+    } catch (const io::ParseError&) {
+    } catch (const std::invalid_argument&) {
+    } catch (const std::logic_error&) {
+    }
+  }
+}
+
+// --- round-trips ------------------------------------------------------------------
+
+TEST(NetFileRoundTrip, ElectricalsExact) {
+  auto f = test::fig3_net();
+  std::ostringstream out;
+  io::write_net(out, "fig3", f.tree, {}, kLib);
+  std::istringstream in(out.str());
+  const auto back = io::read_net(in, kLib);
+  EXPECT_EQ(back.tree.node_count(), f.tree.node_count());
+  EXPECT_EQ(back.tree.sink_count(), f.tree.sink_count());
+  EXPECT_DOUBLE_EQ(back.tree.total_cap(), f.tree.total_cap());
+  EXPECT_DOUBLE_EQ(back.tree.total_wirelength(), f.tree.total_wirelength());
+  EXPECT_DOUBLE_EQ(back.tree.total_coupling_current(),
+                   f.tree.total_coupling_current());
+  // Analysis-equivalent, not just aggregate-equivalent.
+  const auto a = noise::analyze_unbuffered(f.tree);
+  const auto b = noise::analyze_unbuffered(back.tree);
+  for (std::size_t i = 0; i < a.sinks.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.sinks[i].noise, b.sinks[i].noise);
+}
+
+TEST(NetFileRoundTrip, BufferedSolutionSurvives) {
+  auto t = test::long_two_pin(9000.0);
+  const auto res = core::run_buffopt(t, kLib);
+  std::ostringstream out;
+  io::write_net(out, "buffered", res.tree, res.vg.buffers, kLib);
+  std::istringstream in(out.str());
+  const auto back = io::read_net(in, kLib);
+  EXPECT_EQ(back.buffers.size(), res.vg.buffers.size());
+  const auto before = noise::analyze(res.tree, res.vg.buffers, kLib);
+  const auto after = noise::analyze(back.tree, back.buffers, kLib);
+  EXPECT_EQ(after.violation_count, 0u);
+  EXPECT_NEAR(after.worst_slack, before.worst_slack, 1e-12);
+}
+
+TEST(NetFileRoundTrip, InvertedFlagSurvives) {
+  auto net = parse(R"(
+tech 0.073 0.21 1.8 250 0.7
+driver drv 150 30
+node mid source 1000
+sink pos mid 500 10 0 0.8
+sink neg mid 500 10 0 0.8 inverted
+)");
+  std::ostringstream out;
+  io::write_net(out, "x", net.tree, {}, kLib);
+  std::istringstream in(out.str());
+  const auto back = io::read_net(in, kLib);
+  EXPECT_FALSE(back.tree.sinks()[0].require_inverted);
+  EXPECT_TRUE(back.tree.sinks()[1].require_inverted);
+}
+
+TEST(NetFileRoundTrip, AnonymousNodesGetNames) {
+  // Split wires create unnamed nodes; the writer must invent unique names.
+  auto t = test::long_two_pin(3000.0);
+  (void)t.split_wire(t.sinks().front().node, 1000.0);
+  (void)t.split_wire(t.sinks().front().node, 500.0);
+  std::ostringstream out;
+  io::write_net(out, "anon", t, {}, kLib);
+  std::istringstream in(out.str());
+  const auto back = io::read_net(in, kLib);
+  EXPECT_EQ(back.tree.node_count(), t.node_count());
+}
+
+}  // namespace

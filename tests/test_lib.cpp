@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "lib/buffer.hpp"
+#include "lib/technology.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+
+lib::BufferType make_type(const char* name, double r, bool inv = false) {
+  return lib::BufferType{name, r, 10.0 * fF, 20.0 * ps, 0.8, inv};
+}
+
+TEST(BufferLibrary, AddAndAccess) {
+  lib::BufferLibrary l;
+  const auto id = l.add(make_type("b1", 100.0));
+  EXPECT_EQ(l.size(), 1u);
+  EXPECT_EQ(l.at(id).name, "b1");
+  EXPECT_DOUBLE_EQ(l.at(id).resistance, 100.0);
+}
+
+TEST(BufferLibrary, RejectsDuplicateNames) {
+  lib::BufferLibrary l;
+  l.add(make_type("b", 100.0));
+  EXPECT_THROW(l.add(make_type("b", 200.0)), std::invalid_argument);
+}
+
+TEST(BufferLibrary, RejectsNonPositiveParameters) {
+  lib::BufferLibrary l;
+  auto bad = make_type("x", 0.0);
+  EXPECT_THROW(l.add(bad), std::invalid_argument);
+  bad = make_type("x", 100.0);
+  bad.input_cap = 0.0;
+  EXPECT_THROW(l.add(bad), std::invalid_argument);
+  bad = make_type("x", 100.0);
+  bad.noise_margin = 0.0;
+  EXPECT_THROW(l.add(bad), std::invalid_argument);
+}
+
+TEST(BufferLibrary, StrongestIsSmallestResistance) {
+  lib::BufferLibrary l;
+  l.add(make_type("weak", 900.0));
+  const auto strong = l.add(make_type("strong", 50.0));
+  l.add(make_type("mid", 300.0));
+  EXPECT_EQ(l.strongest(), strong);
+}
+
+TEST(BufferLibrary, MinInputCap) {
+  lib::BufferLibrary l;
+  auto a = make_type("a", 100.0);
+  a.input_cap = 3.0 * fF;
+  auto b = make_type("b", 200.0);
+  b.input_cap = 7.0 * fF;
+  l.add(a);
+  l.add(b);
+  EXPECT_DOUBLE_EQ(l.min_input_cap(), 3.0 * fF);
+}
+
+TEST(BufferLibrary, NonInvertingFilter) {
+  lib::BufferLibrary l;
+  l.add(make_type("inv", 100.0, true));
+  l.add(make_type("buf", 200.0, false));
+  const auto filtered = l.non_inverting();
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered.types().front().name, "buf");
+}
+
+TEST(BufferLibrary, IdsEnumerateInOrder) {
+  lib::BufferLibrary l;
+  l.add(make_type("a", 1.0));
+  l.add(make_type("b", 2.0));
+  const auto ids = l.ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(l.at(ids[0]).name, "a");
+  EXPECT_EQ(l.at(ids[1]).name, "b");
+}
+
+TEST(BufferLibrary, EmptyLibraryThrowsOnQueries) {
+  lib::BufferLibrary l;
+  EXPECT_TRUE(l.empty());
+  EXPECT_THROW((void)l.strongest(), std::invalid_argument);
+  EXPECT_THROW((void)l.min_input_cap(), std::invalid_argument);
+}
+
+TEST(DefaultLibrary, HasPaperShape) {
+  const auto l = lib::default_library();
+  EXPECT_EQ(l.size(), 11u);  // Section V: 5 inverting + 6 non-inverting
+  std::size_t inverting = 0;
+  for (const auto& t : l.types()) {
+    if (t.inverting) ++inverting;
+    EXPECT_DOUBLE_EQ(t.noise_margin, 0.8);  // NM = 0.8 V for every gate
+    EXPECT_GT(t.resistance, 0.0);
+    EXPECT_GT(t.input_cap, 0.0);
+  }
+  EXPECT_EQ(inverting, 5u);
+}
+
+TEST(DefaultLibrary, StrengthLadderIsMonotone) {
+  // Within each family, stronger buffers have lower R and higher C_in.
+  const auto l = lib::default_library();
+  double prev_r = 1e9, prev_c = 0.0;
+  for (const auto& t : l.types()) {
+    if (t.inverting) {
+      EXPECT_LT(t.resistance, prev_r);
+      EXPECT_GT(t.input_cap, prev_c);
+      prev_r = t.resistance;
+      prev_c = t.input_cap;
+    }
+  }
+}
+
+TEST(SingleBufferLibrary, HasOneNonInvertingType) {
+  const auto l = lib::single_buffer_library();
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_FALSE(l.types().front().inverting);
+}
+
+TEST(Technology, DefaultValidates) {
+  const auto t = lib::default_technology();
+  EXPECT_NO_THROW(t.validate());
+  EXPECT_DOUBLE_EQ(t.coupling_ratio, 0.7);
+  EXPECT_DOUBLE_EQ(t.vdd, 1.8);
+}
+
+TEST(Technology, AggressorSlopeIsPaperValue) {
+  // 1.8 V / 0.25 ns = 7.2 V/ns.
+  const auto t = lib::default_technology();
+  EXPECT_NEAR(t.aggressor_slope(), 7.2e9, 1e3);
+}
+
+TEST(Technology, WireHelpersScaleLinearly) {
+  const auto t = lib::default_technology();
+  EXPECT_DOUBLE_EQ(t.wire_res(2000.0), 2.0 * t.wire_res(1000.0));
+  EXPECT_DOUBLE_EQ(t.wire_cap(2000.0), 2.0 * t.wire_cap(1000.0));
+  EXPECT_DOUBLE_EQ(t.wire_coupling_current(2000.0),
+                   2.0 * t.wire_coupling_current(1000.0));
+}
+
+TEST(Technology, CouplingCurrentMatchesEq6) {
+  // i = lambda * c * mu per unit length (eq. 6).
+  const auto t = lib::default_technology();
+  const double expected =
+      t.coupling_ratio * t.wire_cap_per_um * t.aggressor_slope();
+  EXPECT_DOUBLE_EQ(t.coupling_current_per_um(), expected);
+}
+
+TEST(Technology, ValidateRejectsBadRatio) {
+  auto t = lib::default_technology();
+  t.coupling_ratio = 1.0;
+  EXPECT_THROW(t.validate(), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+// Moment engine (RICE/AWE-lite), the D2M metric, and the golden step-delay
+// analyzer: the delay-fidelity ladder.
+#include <gtest/gtest.h>
+
+#include "common/test_nets.hpp"
+#include "elmore/elmore.hpp"
+#include "moments/moments.hpp"
+#include "seg/segment.hpp"
+#include "sim/delay.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+sim::StageCircuit single_stage(const rct::RoutingTree& t,
+                               double section = 100.0) {
+  const auto stages =
+      rct::decompose(t, rct::BufferAssignment{}, lib::BufferLibrary{});
+  return sim::build_stage_circuit(t, stages[0], 0.0, section);
+}
+
+// --- moment recurrence ---------------------------------------------------------
+
+TEST(Moments, SingleRcLumpExact) {
+  // One cap C behind driver R: m1 = -RC, m2 = (RC)^2.
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(1000.0));
+  t.add_sink(so, rct::Wire{1.0, 1e-6, 0.0, 0.0}, default_sink(1 * pF));
+  const auto c = single_stage(t);
+  const auto m = moments::stage_moments(c, 1000.0, 3);
+  const double rc = 1000.0 * 1e-12;
+  const std::size_t sink = c.sim_node_of.at(t.sinks().front().node);
+  EXPECT_NEAR(m[1][sink], -rc, rc * 1e-6);
+  EXPECT_NEAR(m[2][sink], rc * rc, rc * rc * 1e-6);
+  EXPECT_NEAR(m[3][sink], -rc * rc * rc, rc * rc * rc * 1e-6);
+}
+
+TEST(Moments, FirstMomentIsNegatedElmore) {
+  // -m1 must equal the Elmore engine's wire delay + driver term on the same
+  // discretization (exact for distributed wires as sections shrink).
+  auto t = test::long_two_pin(4000.0);
+  const auto rep = elmore::analyze_unbuffered(t);
+  const auto c = single_stage(t, 25.0);
+  const auto m = moments::stage_moments(c, 150.0, 1);
+  const std::size_t sink = c.sim_node_of.at(t.sinks().front().node);
+  // Subtract the driver's intrinsic delay (not part of the RC moments).
+  const double elmore_rc = rep.sinks[0].delay - 30.0 * ps;
+  EXPECT_NEAR(-m[1][sink], elmore_rc, elmore_rc * 2e-3);
+}
+
+TEST(Moments, SignAlternation) {
+  auto t = steiner::make_balanced_tree(3, 700.0, default_driver(),
+                                       default_sink(),
+                                       lib::default_technology());
+  const auto c = single_stage(t);
+  const auto m = moments::stage_moments(c, 150.0, 4);
+  for (std::size_t v = 0; v < c.size(); ++v) {
+    EXPECT_LT(m[1][v], 0.0);
+    EXPECT_GT(m[2][v], 0.0);
+    EXPECT_LT(m[3][v], 0.0);
+    EXPECT_GT(m[4][v], 0.0);
+  }
+}
+
+TEST(Moments, DownstreamNodesHaveLargerMagnitude) {
+  auto t = test::long_two_pin(3000.0);
+  const auto c = single_stage(t);
+  const auto m = moments::stage_moments(c, 150.0, 2);
+  for (std::size_t v = 1; v < c.size(); ++v) {
+    EXPECT_LE(m[1][v], m[1][c.parent[v]] + 1e-18);
+    EXPECT_GE(m[2][v], m[2][c.parent[v]] - 1e-30);
+  }
+}
+
+// --- D2M ------------------------------------------------------------------------
+
+TEST(D2M, SinglePoleGivesLogTwoTau) {
+  // For a single pole, m1 = -tau, m2 = tau^2 -> D2M = ln2 * tau, the exact
+  // 50% delay.
+  const double tau = 3e-10;
+  EXPECT_NEAR(moments::d2m_delay(-tau, tau * tau), std::log(2.0) * tau,
+              1e-18);
+}
+
+TEST(D2M, NeverExceedsElmore) {
+  // D2M = ln2 * m1^2/sqrt(m2) and m2 >= m1^2 on RC trees, so D2M <= ln2*|m1|
+  // <= |m1| = Elmore.
+  util::Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto t = test::long_two_pin(rng.uniform(1000.0, 12000.0),
+                                rng.uniform(50.0, 400.0));
+    const auto c = single_stage(t);
+    const auto m = moments::stage_moments(
+        c, t.driver().resistance, 2);
+    const std::size_t sink = c.sim_node_of.at(t.sinks().front().node);
+    EXPECT_LE(moments::d2m_delay(m[1][sink], m[2][sink]),
+              -m[1][sink] + 1e-18);
+  }
+}
+
+TEST(D2M, RejectsWrongSigns) {
+  EXPECT_THROW((void)moments::d2m_delay(1e-10, 1e-20),
+               std::invalid_argument);
+  EXPECT_THROW((void)moments::d2m_delay(-1e-10, -1e-20),
+               std::invalid_argument);
+}
+
+// --- full-tree analysis -----------------------------------------------------------
+
+TEST(MomentAnalyze, ElmoreColumnMatchesElmoreEngine) {
+  auto t = test::long_two_pin(8000.0);
+  const auto mid = t.split_wire(t.sinks().front().node, 4000.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{8});
+  const auto ref = elmore::analyze(t, a, kLib);
+  moments::MomentOptions opt;
+  opt.section_length = 20.0;
+  const auto rep = moments::analyze(t, a, kLib, opt);
+  EXPECT_NEAR(rep.max_elmore, ref.max_delay, ref.max_delay * 2e-3);
+}
+
+TEST(MomentAnalyze, D2mBelowElmorePerSink) {
+  auto t = steiner::make_balanced_tree(3, 1000.0, default_driver(),
+                                       default_sink(),
+                                       lib::default_technology());
+  const auto rep = moments::analyze(t, rct::BufferAssignment{},
+                                    lib::BufferLibrary{});
+  for (const auto& s : rep.sinks) EXPECT_LE(s.d2m, s.elmore + 1e-18);
+}
+
+// --- golden step delay --------------------------------------------------------------
+
+TEST(StepDelay, SinglePoleMatchesAnalytic) {
+  // Lumped RC driven by a fast ramp: 50% delay ~= ln2 * RC (+ rise/2).
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(1000.0, 0.0));
+  t.add_sink(so, rct::Wire{1.0, 1e-6, 0.0, 0.0}, default_sink(1 * pF));
+  sim::StepDelayOptions opt;
+  opt.driver_rise = 1e-12;  // near-step
+  opt.steps_per_rise = 4.0;
+  const auto rep = sim::step_delays(t, {}, lib::BufferLibrary{}, opt);
+  const double expect = std::log(2.0) * 1000.0 * 1e-12;
+  EXPECT_NEAR(rep.sinks[0].delay, expect, expect * 0.03);
+}
+
+TEST(StepDelay, ElmoreUpperBoundsSimulated50Percent) {
+  // Elmore is a provable upper bound on RC-tree 50% delay (Gupta et al.);
+  // our simulator must respect it.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto t = test::long_two_pin(rng.uniform(2000.0, 10000.0),
+                                rng.uniform(80.0, 300.0));
+    const auto elm = elmore::analyze_unbuffered(t);
+    sim::StepDelayOptions opt;
+    const auto simrep = sim::step_delays(t, {}, lib::BufferLibrary{}, opt);
+    // Compare RC parts (subtract the driver's intrinsic delay from Elmore,
+    // and note the ramp adds ~rise/2 to the simulated time).
+    EXPECT_LE(simrep.sinks[0].delay - opt.driver_rise / 2.0,
+              elm.sinks[0].delay - 30.0 * ps + 1e-12);
+  }
+}
+
+TEST(StepDelay, D2mIsCloserToSimulationThanElmore) {
+  // The point of the fidelity ladder: |D2M - sim| < |Elmore - sim| for
+  // resistively-shielded far sinks.
+  auto t = test::long_two_pin(8000.0, 80.0);
+  const auto mrep =
+      moments::analyze(t, rct::BufferAssignment{}, lib::BufferLibrary{});
+  sim::StepDelayOptions opt;
+  opt.driver_rise = 1e-12;
+  opt.steps_per_rise = 2.0;
+  const auto srep = sim::step_delays(t, {}, lib::BufferLibrary{}, opt);
+  const double sim50 = srep.sinks[0].delay;
+  const double e_err = std::abs(mrep.sinks[0].elmore - 30.0 * ps - sim50);
+  const double d_err = std::abs(mrep.sinks[0].d2m - 30.0 * ps - sim50);
+  EXPECT_LT(d_err, e_err);
+}
+
+TEST(StepDelay, BufferedTreeComposesStages) {
+  auto t = test::long_two_pin(8000.0);
+  const auto mid = t.split_wire(t.sinks().front().node, 4000.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{8});
+  const auto unbuf = sim::step_delays(t, {}, lib::BufferLibrary{});
+  const auto buf = sim::step_delays(t, a, kLib);
+  // 8 mm unbuffered is quadratic-dominated; one buffer must help even in
+  // the simulated (non-Elmore) world.
+  EXPECT_LT(buf.max_delay, unbuf.max_delay);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// Re-rooting, stage extraction, and multi-source repeater insertion.
+#include <gtest/gtest.h>
+
+#include "common/test_nets.hpp"
+#include "core/multisource.hpp"
+#include "core/tool.hpp"
+#include "rct/extract.hpp"
+#include "rct/reroot.hpp"
+#include "sim/golden.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+rct::SinkInfo source_pin() {
+  return default_sink(20 * fF, 0.0, 0.8, "old_src");
+}
+
+// --- reroot ---------------------------------------------------------------------
+
+TEST(Reroot, PreservesWireTotals) {
+  auto f = test::fig3_net();
+  const auto rr = rct::reroot(f.tree, f.s1, default_driver(), source_pin());
+  EXPECT_NEAR(rr.tree.total_wirelength(), f.tree.total_wirelength(), 1e-9);
+  EXPECT_NEAR(rr.tree.total_coupling_current(),
+              f.tree.total_coupling_current(), 1e-15);
+  rr.tree.validate();
+}
+
+TEST(Reroot, TerminalRolesSwap) {
+  auto f = test::fig3_net();
+  const auto rr = rct::reroot(f.tree, f.s1, default_driver(), source_pin());
+  // New tree: source at s1's position, sinks = {s2, old source}.
+  EXPECT_EQ(rr.tree.sink_count(), 2u);
+  bool saw_old_source = false;
+  for (const auto& s : rr.tree.sinks())
+    if (s.name == "old_src") saw_old_source = true;
+  EXPECT_TRUE(saw_old_source);
+}
+
+TEST(Reroot, RejectsNonSinkTerminal) {
+  auto f = test::fig3_net();
+  EXPECT_THROW(
+      (void)rct::reroot(f.tree, f.n, default_driver(), source_pin()),
+      std::invalid_argument);
+}
+
+TEST(Reroot, SymmetricTwoPinIsNoiseSymmetric) {
+  // Same driver both ways on a symmetric wire: identical sink noise.
+  auto t = test::long_two_pin(6000.0, 150.0);
+  const auto fwd = noise::analyze_unbuffered(t);
+  const auto rr = rct::reroot(t, t.sinks().front().node,
+                              default_driver(150.0), source_pin());
+  const auto rev = noise::analyze_unbuffered(rr.tree);
+  EXPECT_NEAR(fwd.sinks[0].noise, rev.sinks[0].noise, 1e-9);
+}
+
+TEST(Reroot, MapsAssignments) {
+  auto t = test::long_two_pin(8000.0);
+  const auto mid = t.split_wire(t.sinks().front().node, 4000.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{8});
+  const auto rr = rct::reroot(t, t.sinks().front().node,
+                              default_driver(150.0), source_pin());
+  const auto mapped = rct::map_assignment(a, rr);
+  EXPECT_EQ(mapped.size(), 1u);
+  EXPECT_NO_THROW(mapped.validate(rr.tree, kLib));
+  // The repeater still splits the net into two stages in the new view.
+  EXPECT_EQ(rct::decompose(rr.tree, mapped, kLib).size(), 2u);
+}
+
+TEST(Reroot, OldSourceWithBranchesBecomesJunction) {
+  // Source with two children: in the reversed view it must stay internal
+  // with the old driver pin on a stub.
+  const auto tech = lib::default_technology();
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(), "so");
+  auto wire_of = [&](double len) {
+    return rct::Wire{len, tech.wire_res(len), tech.wire_cap(len),
+                     tech.wire_coupling_current(len)};
+  };
+  const auto a = t.add_sink(so, wire_of(1500.0), default_sink(10 * fF));
+  t.add_sink(so, wire_of(2000.0),
+             default_sink(12 * fF, 0.0, 0.8, "s_b"));
+  const auto rr = rct::reroot(t, a, default_driver(), source_pin());
+  rr.tree.validate();
+  EXPECT_EQ(rr.tree.sink_count(), 2u);
+  EXPECT_NEAR(rr.tree.total_wirelength(), t.total_wirelength(), 1e-9);
+}
+
+// --- extract_stage ------------------------------------------------------------------
+
+TEST(ExtractStage, StandaloneAnalysisMatchesStageLocal) {
+  auto t = test::long_two_pin(8000.0);
+  const auto mid = t.split_wire(t.sinks().front().node, 4000.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{8});
+  const auto stages = rct::decompose(t, a, kLib);
+  for (const auto& st : stages) {
+    const auto nz = noise::stage_noise(t, st);
+    const auto ex = rct::extract_stage(t, st, 1.0);
+    const auto rep = noise::analyze_unbuffered(ex.tree);
+    for (const auto& leaf : rep.sinks) {
+      const rct::NodeId orig = ex.orig_of[leaf.node.value()];
+      EXPECT_NEAR(leaf.noise, nz.at(orig), 1e-12);
+    }
+  }
+}
+
+TEST(ExtractStage, MapsBackToOriginalIds) {
+  auto f = test::fig3_net();
+  const auto stages =
+      rct::decompose(f.tree, rct::BufferAssignment{}, lib::BufferLibrary{});
+  const auto ex = rct::extract_stage(f.tree, stages[0], 1.0);
+  EXPECT_EQ(ex.tree.sink_count(), 2u);
+  for (std::size_t i = 0; i < ex.orig_of.size(); ++i)
+    EXPECT_TRUE(ex.orig_of[i].valid());
+}
+
+// --- multi-source optimization --------------------------------------------------------
+
+TEST(MultiSource, BidirectionalBusCleanInBothModes) {
+  auto t = test::long_two_pin(10000.0, 150.0);
+  const auto terminal = t.sinks().front().node;
+  std::vector<core::NetMode> modes = {
+      {rct::NodeId::invalid(), {}},                     // base: left drives
+      {terminal, rct::Driver{"rev", 180.0, 35 * ps}},   // reverse mode
+  };
+  core::MultiSourceOptions opt;
+  opt.source_as_sink = source_pin();
+  const auto res = core::optimize_multisource(t, kLib, modes, opt);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GT(res.repeaters.size(), 0u);
+  const auto reports = core::analyze_modes(res.tree, res.repeaters, kLib,
+                                           modes, opt.source_as_sink);
+  for (const auto& r : reports) EXPECT_EQ(r.violation_count, 0u);
+}
+
+TEST(MultiSource, GoldenConfirmsBothModes) {
+  auto t = test::long_two_pin(9000.0, 150.0);
+  const auto terminal = t.sinks().front().node;
+  std::vector<core::NetMode> modes = {
+      {rct::NodeId::invalid(), {}},
+      {terminal, rct::Driver{"rev", 120.0, 35 * ps}},
+  };
+  core::MultiSourceOptions opt;
+  opt.source_as_sink = source_pin();
+  const auto res = core::optimize_multisource(t, kLib, modes, opt);
+  ASSERT_TRUE(res.feasible);
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  // Base mode.
+  EXPECT_EQ(
+      sim::golden_analyze(res.tree, res.repeaters, kLib, gopt)
+          .violation_count,
+      0u);
+  // Reverse mode.
+  const auto rr = rct::reroot(res.tree, terminal,
+                              rct::Driver{"rev", 120.0, 35 * ps},
+                              opt.source_as_sink);
+  const auto mapped = rct::map_assignment(res.repeaters, rr);
+  EXPECT_EQ(sim::golden_analyze(rr.tree, mapped, kLib, gopt).violation_count,
+            0u);
+}
+
+TEST(MultiSource, MultiDropBusThreeModes) {
+  // A 3-sink net where the source and two of the sinks can drive.
+  const auto tech = lib::default_technology();
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(200.0), "cpu");
+  auto wire_of = [&](double len) {
+    return rct::Wire{len, tech.wire_res(len), tech.wire_cap(len),
+                     tech.wire_coupling_current(len)};
+  };
+  const auto hub = t.add_internal(so, wire_of(3000.0), "hub");
+  const auto dma = t.add_sink(hub, wire_of(3500.0),
+                              default_sink(18 * fF, 0.0, 0.8, "dma"));
+  const auto io = t.add_sink(hub, wire_of(2500.0),
+                             default_sink(15 * fF, 0.0, 0.8, "io"));
+  t.add_sink(hub, wire_of(1500.0), default_sink(10 * fF, 0.0, 0.8, "mem"));
+  std::vector<core::NetMode> modes = {
+      {rct::NodeId::invalid(), {}},
+      {dma, rct::Driver{"dma_drv", 250.0, 40 * ps}},
+      {io, rct::Driver{"io_drv", 150.0, 40 * ps}},
+  };
+  core::MultiSourceOptions opt;
+  opt.source_as_sink = source_pin();
+  const auto res = core::optimize_multisource(t, kLib, modes, opt);
+  ASSERT_TRUE(res.feasible);
+  const auto reports = core::analyze_modes(res.tree, res.repeaters, kLib,
+                                           modes, opt.source_as_sink);
+  for (std::size_t m = 0; m < reports.size(); ++m) {
+    EXPECT_EQ(reports[m].violation_count, 0u) << "mode " << m;
+    EXPECT_GT(res.mode_worst_slack[m], 0.0) << "mode " << m;
+  }
+}
+
+TEST(MultiSource, NeedsMoreRepeatersThanSingleMode) {
+  // Covering both orientations can only require >= the single-mode count.
+  auto t = test::long_two_pin(12000.0, 150.0);
+  {
+    // Generous RAT so the single-mode baseline is noise-minimal too.
+    auto info = t.sinks().front();
+    info.required_arrival = 1.0;
+    t.set_sink_info(rct::SinkId{0}, info);
+  }
+  const auto single = core::run_buffopt(t, kLib);
+  const auto terminal = t.sinks().front().node;
+  std::vector<core::NetMode> modes = {
+      {rct::NodeId::invalid(), {}},
+      {terminal, rct::Driver{"rev", 400.0, 35 * ps}},  // weak reverse driver
+  };
+  core::MultiSourceOptions opt;
+  opt.source_as_sink = source_pin();
+  const auto res = core::optimize_multisource(t, kLib, modes, opt);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_GE(res.repeaters.size(), single.vg.buffer_count);
+}
+
+TEST(MultiSource, CleanNetNeedsNothing) {
+  auto t = test::long_two_pin(1200.0, 100.0);
+  const auto terminal = t.sinks().front().node;
+  std::vector<core::NetMode> modes = {
+      {rct::NodeId::invalid(), {}},
+      {terminal, rct::Driver{"rev", 100.0, 35 * ps}},
+  };
+  core::MultiSourceOptions opt;
+  opt.source_as_sink = source_pin();
+  const auto res = core::optimize_multisource(t, kLib, modes, opt);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_EQ(res.repeaters.size(), 0u);
+  EXPECT_EQ(res.rounds, 0u);
+}
+
+}  // namespace

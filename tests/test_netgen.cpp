@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/tool.hpp"
+#include "netgen/netgen.hpp"
+#include "noise/devgan.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace nbuf;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+netgen::TestbenchOptions small_bench(std::size_t n = 25,
+                                     std::uint64_t seed = 7) {
+  netgen::TestbenchOptions o;
+  o.net_count = n;
+  o.seed = seed;
+  return o;
+}
+
+TEST(Netgen, SinkCountDistributionInRange) {
+  util::Rng rng(1);
+  std::vector<int> counts;
+  for (int i = 0; i < 5000; ++i)
+    counts.push_back(static_cast<int>(netgen::sample_sink_count(rng)));
+  const auto h = util::histogram(counts);
+  for (const auto& [k, c] : h) {
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 20);
+  }
+  // Skewed toward few sinks: singletons dominate.
+  EXPECT_GT(h.at(1), h.at(2));
+  EXPECT_GT(h.at(2), h.count(5) ? h.at(5) : 0u);
+}
+
+TEST(Netgen, Deterministic) {
+  const auto a = netgen::generate_testbench(kLib, small_bench(10, 42));
+  const auto b = netgen::generate_testbench(kLib, small_bench(10, 42));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sink_count, b[i].sink_count);
+    EXPECT_DOUBLE_EQ(a[i].total_cap, b[i].total_cap);
+    EXPECT_DOUBLE_EQ(a[i].wirelength, b[i].wirelength);
+  }
+}
+
+TEST(Netgen, DifferentSeedsDiffer) {
+  const auto a = netgen::generate_testbench(kLib, small_bench(10, 1));
+  const auto b = netgen::generate_testbench(kLib, small_bench(10, 2));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i].wirelength != b[i].wirelength) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Netgen, NetsAreValidTrees) {
+  const auto nets = netgen::generate_testbench(kLib, small_bench());
+  for (const auto& n : nets) {
+    n.tree.validate();
+    EXPECT_TRUE(n.tree.is_binary());
+    EXPECT_EQ(n.tree.sink_count(), n.sink_count);
+    EXPECT_GT(n.wirelength, 0.0);
+    EXPECT_GT(n.total_cap, 0.0);
+  }
+}
+
+TEST(Netgen, SpansWithinConfiguredRange) {
+  auto opt = small_bench(30);
+  const auto nets = netgen::generate_testbench(kLib, opt);
+  for (const auto& n : nets) {
+    // Wirelength at least ~ the configured minimum span times a placement
+    // factor; never more than a Steiner tree over a max_span box can hold.
+    EXPECT_GT(n.wirelength, opt.min_span * 0.25);
+    EXPECT_LT(n.wirelength, opt.max_span * 25.0);
+  }
+}
+
+TEST(Netgen, RatsGiveHeadroomOverDelayOptimal) {
+  auto opt = small_bench(10);
+  const auto nets = netgen::generate_testbench(kLib, opt);
+  for (const auto& n : nets) {
+    for (const auto& s : n.tree.sinks()) EXPECT_GT(s.required_arrival, 0.0);
+    // DelayOpt at generous budget should meet these RATs.
+    const auto res = core::run_delayopt(n.tree, kLib, 16);
+    EXPECT_GE(res.timing_after.worst_slack, -1e-12) << n.name;
+  }
+}
+
+TEST(Netgen, NoiseMarginsAreUniform) {
+  const auto nets = netgen::generate_testbench(kLib, small_bench(10));
+  for (const auto& n : nets)
+    for (const auto& s : n.tree.sinks())
+      EXPECT_DOUBLE_EQ(s.noise_margin, 0.8);
+}
+
+TEST(Netgen, WorkloadContainsNoiseViolations) {
+  // The testbench mimics "the 500 largest-capacitance nets": most of them
+  // must actually have noise problems for the experiments to be meaningful.
+  const auto nets = netgen::generate_testbench(kLib, small_bench(40, 11));
+  std::size_t violating = 0;
+  for (const auto& n : nets)
+    if (noise::analyze_unbuffered(n.tree).violation_count > 0) ++violating;
+  EXPECT_GT(violating, nets.size() / 2);
+}
+
+TEST(Netgen, EstimationModeCouplingAnnotated) {
+  const auto nets = netgen::generate_testbench(kLib, small_bench(5));
+  const auto tech = lib::default_technology();
+  for (const auto& n : nets) {
+    EXPECT_NEAR(n.tree.total_coupling_current(),
+                tech.coupling_current_per_um() * n.tree.total_wirelength(),
+                1e-9);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include "common/test_nets.hpp"
+#include "noise/coupling.hpp"
+#include "noise/devgan.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+// --- the Fig. 3 worked example ------------------------------------------------
+
+TEST(Devgan, Fig3CurrentsByHand) {
+  const auto f = test::fig3_net(100.0);
+  const auto stages =
+      rct::decompose(f.tree, rct::BufferAssignment{}, lib::BufferLibrary{});
+  const auto cur = noise::stage_currents(f.tree, stages[0]);
+  EXPECT_NEAR(cur.at(f.s1), 0.0, 1e-15);
+  EXPECT_NEAR(cur.at(f.s2), 0.0, 1e-15);
+  EXPECT_NEAR(cur.at(f.n), 50 * uA, 1e-12);
+  EXPECT_NEAR(cur.at(f.tree.source()), 90 * uA, 1e-12);
+}
+
+TEST(Devgan, Fig3NoiseByHand) {
+  const auto f = test::fig3_net(100.0);
+  const auto rep = noise::analyze_unbuffered(f.tree);
+  // Driver term 100*90µ = 9 mV; Noise(so->n) = 100*(20+50)µ = 7 mV;
+  // Noise(n->s1) = 200*15µ = 3 mV; Noise(n->s2) = 150*10µ = 1.5 mV.
+  EXPECT_NEAR(rep.sinks[0].noise, 19.0 * mV, 1e-9);
+  EXPECT_NEAR(rep.sinks[1].noise, 17.5 * mV, 1e-9);
+  EXPECT_EQ(rep.violation_count, 0u);
+  EXPECT_NEAR(rep.worst_slack, 0.8 - 19.0 * mV, 1e-9);
+}
+
+TEST(Devgan, Fig3NoiseSlacksByHand) {
+  const auto f = test::fig3_net(100.0);
+  const auto ns = noise::noise_slacks(f.tree);
+  EXPECT_NEAR(ns.at(f.s1), 0.8, 1e-12);
+  EXPECT_NEAR(ns.at(f.n), 0.8 - 3.0 * mV, 1e-9);
+  EXPECT_NEAR(ns.at(f.tree.source()), 0.8 - 3.0 * mV - 7.0 * mV, 1e-9);
+}
+
+TEST(Devgan, NoiseSlackFeasibilityMatchesDirectAnalysis) {
+  // R_drv * I(so) <= NS(so) iff no sink violates (Section II-B).
+  for (double margin : {0.005, 0.012, 0.02, 0.05}) {
+    auto f = test::fig3_net(100.0);
+    for (const auto& s : f.tree.sinks()) {
+      auto info = s;
+      info.noise_margin = margin;
+      f.tree.set_sink_info(f.tree.node(s.node).sink, info);
+    }
+    const auto ns = noise::noise_slacks(f.tree);
+    const auto rep = noise::analyze_unbuffered(f.tree);
+    const bool slack_ok = 100.0 * 90e-6 <= ns.at(f.tree.source());
+    EXPECT_EQ(slack_ok, rep.violation_count == 0) << "margin " << margin;
+  }
+}
+
+// --- structural properties ------------------------------------------------------
+
+TEST(Devgan, LongerWireMoreNoise) {
+  const auto a = noise::analyze_unbuffered(test::long_two_pin(2000.0));
+  const auto b = noise::analyze_unbuffered(test::long_two_pin(4000.0));
+  EXPECT_GT(b.sinks[0].noise, a.sinks[0].noise);
+}
+
+TEST(Devgan, NoiseGrowsQuadraticallyWithLength) {
+  // With distributed current, noise ~ R_drv*i*L + r*i*L^2/2.
+  const auto a = noise::analyze_unbuffered(test::long_two_pin(2000.0));
+  const auto b = noise::analyze_unbuffered(test::long_two_pin(4000.0));
+  EXPECT_GT(b.sinks[0].noise, 2.0 * a.sinks[0].noise);
+}
+
+TEST(Devgan, LongNetViolatesPaperMargin) {
+  const auto rep = noise::analyze_unbuffered(test::long_two_pin(8000.0));
+  EXPECT_GT(rep.sinks[0].noise, 0.8);
+  EXPECT_EQ(rep.violation_count, 1u);
+  EXPECT_FALSE(rep.clean());
+}
+
+TEST(Devgan, BufferRestoresSignal) {
+  // A buffer in the middle of a violating net splits the noise; both stages
+  // can pass where the whole net failed.
+  auto t = test::long_two_pin(5000.0);
+  const auto l = lib::default_library();
+  EXPECT_EQ(noise::analyze_unbuffered(t).violation_count, 1u);
+  const auto mid = t.split_wire(t.sinks().front().node, 2500.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{9});  // buf_x16, R = 70
+  const auto rep = noise::analyze(t, a, l);
+  EXPECT_EQ(rep.violation_count, 0u);
+  // Both the buffer input leaf and the true sink are reported.
+  EXPECT_EQ(rep.leaves.size(), 2u);
+}
+
+TEST(Devgan, BufferInputLeafIsChecked) {
+  // Buffer too far from the source: its own input sees a violation.
+  auto t = test::long_two_pin(12000.0);
+  const auto l = lib::default_library();
+  const auto mid = t.split_wire(t.sinks().front().node, 1000.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{9});
+  const auto rep = noise::analyze(t, a, l);
+  bool buffer_leaf_violates = false;
+  for (const auto& leaf : rep.leaves)
+    if (leaf.is_buffer_input && leaf.slack < 0) buffer_leaf_violates = true;
+  EXPECT_TRUE(buffer_leaf_violates);
+}
+
+TEST(Devgan, AnalyzeUnbufferedEqualsEmptyAssignment) {
+  const auto f = test::fig3_net();
+  const auto a = noise::analyze_unbuffered(f.tree);
+  const auto b =
+      noise::analyze(f.tree, rct::BufferAssignment{}, lib::default_library());
+  ASSERT_EQ(a.sinks.size(), b.sinks.size());
+  for (std::size_t i = 0; i < a.sinks.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.sinks[i].noise, b.sinks[i].noise);
+}
+
+TEST(Devgan, DriverResistanceAddsNoise) {
+  const auto weak = noise::analyze_unbuffered(test::long_two_pin(3000, 400));
+  const auto strong = noise::analyze_unbuffered(test::long_two_pin(3000, 50));
+  EXPECT_GT(weak.sinks[0].noise, strong.sinks[0].noise);
+}
+
+TEST(Devgan, SplittingWireDoesNotChangeNoise) {
+  // The metric is additive: subdividing a wire must leave sink noise
+  // unchanged (same property Elmore has for delay).
+  auto t1 = test::long_two_pin(5000.0);
+  auto t2 = test::long_two_pin(5000.0);
+  auto m = t2.split_wire(t2.sinks().front().node, 1700.0);
+  (void)t2.split_wire(m, 900.0);
+  const auto r1 = noise::analyze_unbuffered(t1);
+  const auto r2 = noise::analyze_unbuffered(t2);
+  EXPECT_NEAR(r1.sinks[0].noise, r2.sinks[0].noise,
+              1e-12 * r1.sinks[0].noise);
+}
+
+// --- explicit aggressor coupling (Fig. 2) ------------------------------------------
+
+TEST(Coupling, SingleSpanSetsEq6Current) {
+  auto t = test::long_two_pin(1000.0);
+  // Clear estimation-mode current first.
+  auto sink = t.sinks().front().node;
+  rct::Wire w = t.node(sink).parent_wire;
+  w.coupling_current = 0.0;
+  t.set_parent_wire(sink, w);
+
+  const std::vector<noise::Aggressor> aggs = {{"a0", 7.2e9, 0.7}};
+  const auto owners = noise::apply_coupling(
+      t, sink, aggs, {{0, 200.0, 700.0}});
+  ASSERT_EQ(owners.size(), 3u);  // [0,200) uncoupled, [200,700), [700,1000]
+  const double c_per = lib::default_technology().wire_cap_per_um;
+  const double expect = 0.7 * 7.2e9 * c_per * 500.0;
+  double total = 0.0;
+  for (auto id : owners) total += t.node(id).parent_wire.coupling_current;
+  EXPECT_NEAR(total, expect, expect * 1e-9);
+}
+
+TEST(Coupling, OverlappingAggressorsSum) {
+  auto t = test::long_two_pin(1000.0);
+  auto sink = t.sinks().front().node;
+  rct::Wire w = t.node(sink).parent_wire;
+  w.coupling_current = 0.0;
+  t.set_parent_wire(sink, w);
+
+  const std::vector<noise::Aggressor> aggs = {{"a0", 7.2e9, 0.4},
+                                              {"a1", 3.6e9, 0.3}};
+  const auto owners = noise::apply_coupling(
+      t, sink, aggs, {{0, 0.0, 1000.0}, {1, 300.0, 600.0}});
+  // The [300,600] stretch must carry both aggressors' currents.
+  const double c_per = lib::default_technology().wire_cap_per_um;
+  double mid_rate = 0.0;
+  double pos = 0.0;
+  for (auto id : owners) {
+    const auto& wire = t.node(id).parent_wire;
+    const double mid = pos + wire.length / 2.0;
+    if (mid > 300.0 && mid < 600.0)
+      mid_rate = wire.coupling_current / wire.capacitance;
+    pos += wire.length;
+  }
+  EXPECT_NEAR(mid_rate, 0.4 * 7.2e9 + 0.3 * 3.6e9, 1e3);
+  (void)c_per;
+}
+
+TEST(Coupling, PreservesWireTotals) {
+  auto t = test::long_two_pin(1000.0);
+  auto sink = t.sinks().front().node;
+  const double r_before = t.node(sink).parent_wire.resistance;
+  const double c_before = t.node(sink).parent_wire.capacitance;
+  const std::vector<noise::Aggressor> aggs = {{"a0", 7.2e9, 0.7}};
+  (void)noise::apply_coupling(t, sink, aggs, {{0, 100.0, 900.0}});
+  double r = 0.0, c = 0.0;
+  for (auto id : t.preorder())
+    if (id != t.source()) {
+      r += t.node(id).parent_wire.resistance;
+      c += t.node(id).parent_wire.capacitance;
+    }
+  EXPECT_NEAR(r, r_before, 1e-9);
+  EXPECT_NEAR(c, c_before, 1e-24);
+  t.validate();
+}
+
+TEST(Coupling, RejectsBadSpans) {
+  auto t = test::long_two_pin(1000.0);
+  auto sink = t.sinks().front().node;
+  const std::vector<noise::Aggressor> aggs = {{"a0", 7.2e9, 0.7}};
+  EXPECT_THROW((void)noise::apply_coupling(t, sink, aggs, {{0, 500.0, 400.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)noise::apply_coupling(t, sink, aggs, {{0, 0.0, 1500.0}}),
+      std::invalid_argument);
+  EXPECT_THROW((void)noise::apply_coupling(t, sink, aggs, {{5, 0.0, 500.0}}),
+               std::invalid_argument);
+}
+
+TEST(Coupling, EquivalentToEstimationModeWhenFullSpan) {
+  // A single aggressor covering the whole wire with tech's lambda and slope
+  // reproduces the estimation-mode coupling current.
+  const auto tech = lib::default_technology();
+  auto t = test::long_two_pin(2000.0);
+  const double est = t.node(t.sinks().front().node).parent_wire.coupling_current;
+  auto t2 = test::long_two_pin(2000.0);
+  auto sink = t2.sinks().front().node;
+  rct::Wire w = t2.node(sink).parent_wire;
+  w.coupling_current = 0.0;
+  t2.set_parent_wire(sink, w);
+  const std::vector<noise::Aggressor> aggs = {
+      {"a0", tech.aggressor_slope(), tech.coupling_ratio}};
+  const auto owners =
+      noise::apply_coupling(t2, sink, aggs, {{0, 0.0, 2000.0}});
+  ASSERT_EQ(owners.size(), 1u);
+  EXPECT_NEAR(t2.node(owners[0]).parent_wire.coupling_current, est,
+              est * 1e-9);
+}
+
+}  // namespace

@@ -1,0 +1,306 @@
+// Parameterized property sweeps (TEST_P) over lengths, seeds and
+// granularities: the library's key invariants must hold across the whole
+// parameter space, not just hand-picked cases.
+#include <gtest/gtest.h>
+
+#include "common/test_nets.hpp"
+#include "core/alg1_single_sink.hpp"
+#include "core/alg2_multi_sink.hpp"
+#include "core/theory.hpp"
+#include "core/tool.hpp"
+#include "elmore/elmore.hpp"
+#include "noise/devgan.hpp"
+#include "elmore/slew.hpp"
+#include "lib/wire.hpp"
+#include "noise/incremental.hpp"
+#include "noise/pulse.hpp"
+#include "sim/golden.hpp"
+#include "steiner/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+// --- length sweep: two-pin invariants ---------------------------------------
+
+class LengthSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(TwoPin, LengthSweep,
+                         ::testing::Values(500.0, 1500.0, 3000.0, 4500.0,
+                                           6000.0, 8000.0, 11000.0, 14000.0));
+
+TEST_P(LengthSweep, MetricUpperBoundsGolden) {
+  auto t = test::long_two_pin(GetParam());
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  const auto metric = noise::analyze_unbuffered(t);
+  const auto golden = sim::golden_analyze_unbuffered(t, gopt);
+  EXPECT_GE(metric.sinks[0].noise, golden.sinks[0].peak);
+}
+
+TEST_P(LengthSweep, Alg1AlwaysClean) {
+  auto t = test::long_two_pin(GetParam());
+  const auto res = core::avoid_noise_single_sink(t, kLib);
+  EXPECT_TRUE(noise::analyze(res.tree, res.buffers, kLib).clean());
+}
+
+TEST_P(LengthSweep, Alg1GoldenClean) {
+  auto t = test::long_two_pin(GetParam());
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  const auto res = core::avoid_noise_single_sink(t, kLib);
+  EXPECT_EQ(sim::golden_analyze(res.tree, res.buffers, kLib, gopt)
+                .violation_count,
+            0u);
+}
+
+TEST_P(LengthSweep, BuffOptCleanAndTimed) {
+  auto t = steiner::make_two_pin(GetParam(), default_driver(150.0, 30 * ps),
+                                 default_sink(15 * fF, 0.0),
+                                 lib::default_technology());
+  // RAT = 1.2x the delay-optimal arrival.
+  const auto d = core::run_delayopt(t, kLib, 12);
+  auto info = t.sinks().front();
+  info.required_arrival = 1.2 * d.timing_after.max_delay;
+  t.set_sink_info(rct::SinkId{0}, info);
+  const auto res = core::run_buffopt(t, kLib);
+  ASSERT_TRUE(res.vg.feasible);
+  EXPECT_EQ(res.noise_after.violation_count, 0u);
+  EXPECT_GE(res.timing_after.worst_slack, -1e-12);
+}
+
+// --- driver sweep: Theorem 1 monotonicity -----------------------------------
+
+class DriverSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Resistances, DriverSweep,
+                         ::testing::Values(25.0, 50.0, 100.0, 200.0, 400.0,
+                                           800.0));
+
+TEST_P(DriverSweep, CriticalLengthConsistent) {
+  const auto tech = lib::default_technology();
+  const double r = GetParam();
+  const auto len = core::critical_length(
+      r, tech.wire_res_per_um, tech.coupling_current_per_um(), 0.8, 0.0);
+  ASSERT_TRUE(len.has_value());
+  const double noise = core::uniform_wire_noise(
+      r, tech.wire_res_per_um, tech.coupling_current_per_um(), *len, 0.0);
+  EXPECT_NEAR(noise, 0.8, 1e-9);
+}
+
+TEST_P(DriverSweep, UnbufferedNoiseMatchesUniformFormula) {
+  const double r = GetParam();
+  const double len = 3000.0;
+  auto t = test::long_two_pin(len, r);
+  const auto tech = lib::default_technology();
+  const auto rep = noise::analyze_unbuffered(t);
+  const double expect = core::uniform_wire_noise(
+      r, tech.wire_res_per_um, tech.coupling_current_per_um(), len, 0.0);
+  EXPECT_NEAR(rep.sinks[0].noise, expect, expect * 1e-9);
+}
+
+// --- seed sweep: random multi-sink nets --------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Range(1, 13));  // 12 random nets
+
+rct::RoutingTree seeded_net(int seed) {
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 77 + 5);
+  const int sinks = rng.uniform_int(2, 9);
+  const double span = rng.uniform(3000.0, 9000.0);
+  std::vector<steiner::PinSpec> pins;
+  for (int i = 0; i < sinks; ++i) {
+    steiner::PinSpec p;
+    p.at = {rng.uniform(0.2 * span, span), rng.uniform(0.0, span)};
+    p.info = default_sink(rng.uniform(5 * fF, 30 * fF), 0.0, 0.8,
+                          ("s" + std::to_string(i)).c_str());
+    pins.push_back(p);
+  }
+  return steiner::build_tree({0, 0},
+                             default_driver(rng.uniform(60.0, 350.0)), pins,
+                             lib::default_technology());
+}
+
+TEST_P(SeedSweep, Alg2CleansRandomNet) {
+  auto t = seeded_net(GetParam());
+  const auto res = core::avoid_noise_multi_sink(t, kLib);
+  EXPECT_TRUE(noise::analyze(res.tree, res.buffers, kLib).clean());
+}
+
+TEST_P(SeedSweep, MetricBoundsGoldenAtEverySink) {
+  auto t = seeded_net(GetParam());
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  const auto metric = noise::analyze_unbuffered(t);
+  const auto golden = sim::golden_analyze_unbuffered(t, gopt);
+  for (std::size_t i = 0; i < metric.sinks.size(); ++i)
+    EXPECT_GE(metric.sinks[i].noise + 1e-12, golden.sinks[i].peak)
+        << "sink " << i;
+}
+
+TEST_P(SeedSweep, BuffOptCleanOnRandomNet) {
+  auto t = seeded_net(GetParam());
+  const auto res = core::run_buffopt(t, kLib);
+  ASSERT_TRUE(res.vg.feasible);
+  EXPECT_EQ(res.noise_after.violation_count, 0u);
+}
+
+TEST_P(SeedSweep, ElmoreSlackSelfConsistent) {
+  auto t = seeded_net(GetParam());
+  const auto res = core::run_delayopt(t, kLib, 8);
+  const auto timing = elmore::analyze(res.tree, res.vg.buffers, kLib);
+  EXPECT_NEAR(res.vg.slack, timing.worst_slack, 1e-13);
+}
+
+// --- randomized DP optimality sweep -------------------------------------------
+
+// Exhaustive optimum over buffer subsets of a single type on a coarsely
+// segmented random tree; the DP must match it exactly.
+class OptimalitySweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalitySweep, ::testing::Range(1, 9));
+
+TEST_P(OptimalitySweep, DpMatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const int sinks = rng.uniform_int(2, 4);
+  const double span = rng.uniform(2500.0, 5000.0);
+  std::vector<steiner::PinSpec> pins;
+  for (int i = 0; i < sinks; ++i) {
+    steiner::PinSpec p;
+    p.at = {rng.uniform(0.3 * span, span), rng.uniform(0.0, span)};
+    p.info = default_sink(rng.uniform(5 * fF, 30 * fF), 2 * ns, 0.8,
+                          ("s" + std::to_string(i)).c_str());
+    pins.push_back(p);
+  }
+  auto t = steiner::build_tree({0, 0},
+                               default_driver(rng.uniform(80.0, 300.0)),
+                               pins, lib::default_technology());
+  seg::segment(t, {1200.0});
+  std::vector<rct::NodeId> sites;
+  for (auto id : t.preorder())
+    if (t.node(id).kind == rct::NodeKind::Internal &&
+        t.node(id).buffer_allowed)
+      sites.push_back(id);
+  if (sites.size() > 12) GTEST_SKIP() << "too many sites to enumerate";
+
+  const auto one = lib::single_buffer_library();
+  for (bool noise_mode : {false, true}) {
+    double best = -std::numeric_limits<double>::infinity();
+    rct::BufferAssignment a;
+    for (std::size_t mask = 0; mask < (1u << sites.size()); ++mask) {
+      a.clear();
+      for (std::size_t i = 0; i < sites.size(); ++i)
+        if (mask & (1u << i)) a.place(sites[i], lib::BufferId{0});
+      if (noise_mode && !noise::analyze(t, a, one).clean()) continue;
+      best = std::max(best, elmore::analyze(t, a, one).worst_slack);
+    }
+    core::VgOptions opt;
+    opt.noise_constraints = noise_mode;
+    opt.max_buffers = sites.size() + 1;
+    const auto res = core::optimize(t, one, opt);
+    if (best == -std::numeric_limits<double>::infinity()) {
+      EXPECT_FALSE(res.feasible);
+    } else {
+      EXPECT_NEAR(res.slack, best, std::abs(best) * 1e-9 + 1e-18)
+          << "noise_mode=" << noise_mode;
+    }
+  }
+}
+
+// --- segmentation sweep --------------------------------------------------------
+
+class SegSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Granularity, SegSweep,
+                         ::testing::Values(2000.0, 1000.0, 500.0, 250.0));
+
+TEST_P(SegSweep, NoiseAndDelayInvariantUnderSegmentation) {
+  auto t = test::long_two_pin(9000.0);
+  seg::segment(t, {GetParam()});
+  const auto rep = noise::analyze_unbuffered(t);
+  const auto timing = elmore::analyze_unbuffered(t);
+  // Same values regardless of granularity (additivity of both metrics).
+  auto t0 = test::long_two_pin(9000.0);
+  EXPECT_NEAR(rep.sinks[0].noise,
+              noise::analyze_unbuffered(t0).sinks[0].noise, 1e-9);
+  EXPECT_NEAR(timing.max_delay,
+              elmore::analyze_unbuffered(t0).max_delay, 1e-15);
+}
+
+TEST_P(SegSweep, BuffOptStaysCleanAtAnyGranularity) {
+  auto t = steiner::make_two_pin(9000.0, default_driver(150.0, 30 * ps),
+                                 default_sink(15 * fF, 2 * ns),
+                                 lib::default_technology());
+  core::ToolOptions opt;
+  opt.segmenting.max_segment_length = GetParam();
+  const auto res = core::run_buffopt(t, kLib, opt);
+  ASSERT_TRUE(res.vg.feasible);
+  EXPECT_EQ(res.noise_after.violation_count, 0u);
+}
+
+// --- extension sweeps: wire sizing, slew, pulse width over random nets ---------
+
+class ExtensionSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtensionSweep, ::testing::Range(20, 28));
+
+TEST_P(ExtensionSweep, WireSizingNeverWorseOnRandomNets) {
+  auto t = seeded_net(GetParam());
+  seg::segment(t, {500.0});
+  core::VgOptions plain, sized;
+  plain.noise_constraints = false;
+  sized.noise_constraints = false;
+  sized.wire_widths = lib::default_wire_widths();
+  const auto r0 = core::optimize(t, kLib, plain);
+  const auto r1 = core::optimize(t, kLib, sized);
+  EXPECT_GE(r1.slack, r0.slack - 1e-15);
+  // Self-consistency of the sized prediction.
+  auto sized_tree = t;
+  core::apply_wire_widths(sized_tree, r1.wire_widths, sized.wire_widths);
+  EXPECT_NEAR(r1.slack,
+              elmore::analyze(sized_tree, r1.buffers, kLib).worst_slack,
+              1e-13);
+}
+
+TEST_P(ExtensionSweep, SlewConstraintHonoredOnRandomNets) {
+  auto t = seeded_net(GetParam());
+  seg::segment(t, {400.0});
+  core::VgOptions opt;
+  opt.noise_constraints = true;
+  opt.max_slew = 300.0 * ps;
+  const auto res = core::optimize(t, kLib, opt);
+  if (!res.feasible) GTEST_SKIP() << "net cannot meet 300 ps slew";
+  EXPECT_LE(elmore::slews(t, res.buffers, kLib).max_slew,
+            300.0 * ps * (1.0 + 1e-9));
+  EXPECT_TRUE(noise::analyze(t, res.buffers, kLib).clean());
+}
+
+TEST_P(ExtensionSweep, PulseWidthEstimateBracketsGolden) {
+  auto t = seeded_net(GetParam());
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  const auto est = noise::pulse_widths(t, {}, lib::BufferLibrary{},
+                                       lib::default_technology().aggressor_rise);
+  const auto golden = sim::golden_analyze_unbuffered(t, gopt);
+  for (std::size_t i = 0; i < est.sinks.size(); ++i) {
+    if (golden.sinks[i].peak < 0.02) continue;  // width ill-defined
+    const double ratio = est.sinks[i].width / golden.sinks[i].width;
+    EXPECT_GT(ratio, 0.4) << "sink " << i;
+    EXPECT_LT(ratio, 4.0) << "sink " << i;
+  }
+}
+
+TEST_P(ExtensionSweep, IncrementalMatchesAnalyzerOnRandomNets) {
+  auto t = seeded_net(GetParam());
+  const noise::IncrementalNoise inc(t);
+  const auto rep = noise::analyze_unbuffered(t);
+  for (const auto& s : t.sinks())
+    EXPECT_NEAR(inc.noise(s.node),
+                rep.sinks[t.node(s.node).sink.value()].noise, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Noise pulse-width estimation and width-aware margins.
+#include <gtest/gtest.h>
+
+#include "common/test_nets.hpp"
+#include "noise/devgan.hpp"
+#include "noise/pulse.hpp"
+#include "sim/golden.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+
+const lib::BufferLibrary kLib = lib::default_library();
+constexpr double kRise = 0.25 * ns;
+
+TEST(PulseWidth, GrowsWithWireLength) {
+  const auto a = noise::pulse_widths(test::long_two_pin(2000.0), {},
+                                     lib::BufferLibrary{}, kRise);
+  const auto b = noise::pulse_widths(test::long_two_pin(8000.0), {},
+                                     lib::BufferLibrary{}, kRise);
+  EXPECT_GT(b.sinks[0].width, a.sinks[0].width);
+}
+
+TEST(PulseWidth, AtLeastTheAggressorTransition) {
+  const auto rep = noise::pulse_widths(test::long_two_pin(500.0), {},
+                                       lib::BufferLibrary{}, kRise);
+  EXPECT_GE(rep.sinks[0].width, kRise);
+}
+
+TEST(PulseWidth, TracksGoldenMeasurementWithinFactorTwo) {
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  for (double len : {1500.0, 3000.0, 6000.0, 10000.0}) {
+    auto t = test::long_two_pin(len);
+    const auto est = noise::pulse_widths(t, {}, lib::BufferLibrary{}, kRise);
+    const auto golden = sim::golden_analyze_unbuffered(t, gopt);
+    ASSERT_GT(golden.sinks[0].width, 0.0);
+    const double ratio = est.sinks[0].width / golden.sinks[0].width;
+    EXPECT_GT(ratio, 0.5) << len;
+    EXPECT_LT(ratio, 2.5) << len;
+  }
+}
+
+TEST(PulseWidth, BuffersNarrowThePulse) {
+  auto t = test::long_two_pin(8000.0);
+  const auto mid = t.split_wire(t.sinks().front().node, 4000.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{9});
+  const auto unbuf = noise::pulse_widths(t, {}, kLib, kRise);
+  const auto buf = noise::pulse_widths(t, a, kLib, kRise);
+  EXPECT_LT(buf.sinks[0].width, unbuf.sinks[0].width);
+}
+
+TEST(PulseWidth, RejectsBadRise) {
+  EXPECT_THROW((void)noise::pulse_widths(test::long_two_pin(1000.0), {},
+                                         lib::BufferLibrary{}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(EffectiveMargin, RecoversDcForWidePulses) {
+  EXPECT_NEAR(noise::effective_margin(0.8, 50 * ps, 1.0), 0.8, 1e-9);
+}
+
+TEST(EffectiveMargin, InflatesForNarrowPulses) {
+  const double nm = noise::effective_margin(0.8, 100 * ps, 100 * ps);
+  EXPECT_NEAR(nm, 1.6, 1e-12);
+  EXPECT_GT(noise::effective_margin(0.8, 100 * ps, 50 * ps), nm);
+}
+
+TEST(EffectiveMargin, MonotoneInWidth) {
+  double prev = 1e9;
+  for (double w : {50 * ps, 100 * ps, 300 * ps, 1000 * ps}) {
+    const double nm = noise::effective_margin(0.8, 80 * ps, w);
+    EXPECT_LT(nm, prev);
+    prev = nm;
+  }
+}
+
+TEST(WidthAware, NeverMoreViolationsThanAmplitudeOnly) {
+  for (double len : {3000.0, 5000.0, 8000.0, 12000.0}) {
+    auto t = test::long_two_pin(len);
+    const auto amp = noise::analyze_unbuffered(t);
+    const auto w = noise::pulse_widths(t, {}, lib::BufferLibrary{}, kRise);
+    const auto strict = noise::width_aware_violations(amp, w, 0.0);
+    const auto relaxed = noise::width_aware_violations(amp, w, 120 * ps);
+    EXPECT_EQ(strict, amp.violation_count) << len;  // tau=0: same rule
+    EXPECT_LE(relaxed, strict) << len;
+  }
+}
+
+TEST(WidthAware, MarginalAmplitudeViolationForgivenWhenNarrow) {
+  // Find a length whose amplitude barely exceeds 0.8 V; a realistic gate
+  // time constant then forgives it.
+  auto t = test::long_two_pin(3100.0);  // just past the ~2.94 mm threshold
+  const auto amp = noise::analyze_unbuffered(t);
+  ASSERT_GT(amp.violation_count, 0u);
+  ASSERT_LT(amp.sinks[0].noise, 1.1);
+  const auto w = noise::pulse_widths(t, {}, lib::BufferLibrary{}, kRise);
+  EXPECT_EQ(noise::width_aware_violations(amp, w, 200 * ps), 0u);
+}
+
+TEST(WidthAware, RejectsMismatchedReports) {
+  auto t1 = test::long_two_pin(2000.0);
+  auto t2 = test::fig3_net().tree;
+  const auto amp = noise::analyze_unbuffered(t1);
+  const auto w = noise::pulse_widths(t2, {}, lib::BufferLibrary{}, kRise);
+  EXPECT_THROW((void)noise::width_aware_violations(amp, w, 0.0),
+               std::invalid_argument);
+}
+
+TEST(GoldenWidth, MeasuredWidthPositiveAndSane) {
+  const auto gopt = sim::golden_options_from(lib::default_technology());
+  auto t = test::long_two_pin(5000.0);
+  const auto rep = sim::golden_analyze_unbuffered(t, gopt);
+  EXPECT_GT(rep.sinks[0].width, 0.1 * kRise);
+  EXPECT_LT(rep.sinks[0].width, 100 * kRise);
+}
+
+}  // namespace

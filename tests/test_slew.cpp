@@ -1,0 +1,152 @@
+// Slew estimation and slew-constrained buffer insertion.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/test_nets.hpp"
+#include "core/tool.hpp"
+#include "elmore/slew.hpp"
+#include "seg/segment.hpp"
+#include "sim/delay.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+rct::RoutingTree net(double len, double rat = 2 * ns) {
+  auto t = steiner::make_two_pin(len, default_driver(150.0, 30 * ps),
+                                 default_sink(15 * fF, rat),
+                                 lib::default_technology());
+  seg::segment(t, {500.0});
+  return t;
+}
+
+TEST(Slew, SinglePoleAnalytic) {
+  // Lumped RC: slew = ln9 * R * C.
+  rct::RoutingTree t;
+  const auto so = t.make_source(default_driver(1000.0));
+  t.add_sink(so, rct::Wire{1.0, 1e-9, 0.0, 0.0}, default_sink(1 * pF));
+  const auto rep = elmore::slews(t, {}, lib::BufferLibrary{});
+  EXPECT_NEAR(rep.sinks[0].slew, elmore::kSlewFactor * 1000.0 * 1e-12,
+              1e-15);
+}
+
+TEST(Slew, GrowsQuadraticallyWithLength) {
+  const auto a = elmore::slews(test::long_two_pin(3000.0), {},
+                               lib::BufferLibrary{});
+  const auto b = elmore::slews(test::long_two_pin(6000.0), {},
+                               lib::BufferLibrary{});
+  EXPECT_GT(b.max_slew, 2.0 * a.max_slew);
+}
+
+TEST(Slew, BuffersRestoreEdges) {
+  auto t = test::long_two_pin(8000.0);
+  const auto mid = t.split_wire(t.sinks().front().node, 4000.0);
+  rct::BufferAssignment a;
+  a.place(mid, lib::BufferId{8});
+  const auto unbuf = elmore::slews(t, {}, kLib);
+  const auto buf = elmore::slews(t, a, kLib);
+  EXPECT_LT(buf.max_slew, unbuf.max_slew);
+  // Both the buffer input leaf and the sink are reported.
+  EXPECT_EQ(buf.leaves.size(), 2u);
+}
+
+TEST(Slew, TracksSimulatedTransition) {
+  // The estimate is the right order of magnitude against the transient
+  // 10-90% time... approximated here by comparing against 2.2x the
+  // simulated 50% delay shape: just require factor-of-2 agreement with the
+  // single-pole relation slew ~ ln9/ln2 * t50.
+  auto t = test::long_two_pin(5000.0);
+  const auto est = elmore::slews(t, {}, lib::BufferLibrary{});
+  sim::StepDelayOptions opt;
+  opt.driver_rise = 1e-12;
+  opt.steps_per_rise = 2.0;
+  const auto simrep = sim::step_delays(t, {}, lib::BufferLibrary{}, opt);
+  const double implied = simrep.sinks[0].delay *
+                         (elmore::kSlewFactor / std::log(2.0));
+  EXPECT_GT(est.sinks[0].slew, 0.5 * implied);
+  EXPECT_LT(est.sinks[0].slew, 2.0 * implied);
+}
+
+TEST(SlewConstraint, UnconstrainedMatchesInfinity) {
+  auto t = net(9000.0);
+  core::VgOptions a, b;
+  a.noise_constraints = false;
+  b.noise_constraints = false;
+  b.max_slew = std::numeric_limits<double>::infinity();
+  const auto ra = core::optimize(t, kLib, a);
+  const auto rb = core::optimize(t, kLib, b);
+  EXPECT_DOUBLE_EQ(ra.slack, rb.slack);
+}
+
+TEST(SlewConstraint, ResultMeetsTheLimit) {
+  for (double limit : {400.0 * ps, 250.0 * ps, 150.0 * ps}) {
+    auto t = net(10000.0);
+    core::VgOptions opt;
+    opt.noise_constraints = false;
+    opt.max_slew = limit;
+    const auto res = core::optimize(t, kLib, opt);
+    ASSERT_TRUE(res.feasible) << limit;
+    const auto rep = elmore::slews(t, res.buffers, kLib);
+    EXPECT_LE(rep.max_slew, limit * (1.0 + 1e-9)) << limit;
+  }
+}
+
+TEST(SlewConstraint, TighterLimitNeedsMoreBuffers) {
+  std::size_t prev = 0;
+  for (double limit : {1000.0 * ps, 400.0 * ps, 200.0 * ps, 120.0 * ps}) {
+    auto t = net(12000.0, /*rat=*/50 * ns);
+    core::VgOptions opt;
+    opt.noise_constraints = false;
+    opt.max_slew = limit;
+    opt.objective = core::VgObjective::MinBuffersMeetingConstraints;
+    const auto res = core::optimize(t, kLib, opt);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_GE(res.buffer_count, prev);
+    prev = res.buffer_count;
+  }
+  EXPECT_GE(prev, 3u);
+}
+
+TEST(SlewConstraint, InfeasibleWhenImpossiblyTight) {
+  auto t = net(8000.0);
+  core::VgOptions opt;
+  opt.noise_constraints = false;
+  opt.max_slew = 1.0 * ps;  // nothing can switch a 500 um segment this fast
+  const auto res = core::optimize(t, kLib, opt);
+  EXPECT_FALSE(res.feasible);
+}
+
+TEST(SlewConstraint, ComposesWithNoiseConstraints) {
+  auto t = net(12000.0);
+  core::VgOptions opt;
+  opt.noise_constraints = true;
+  opt.max_slew = 200.0 * ps;
+  const auto res = core::optimize(t, kLib, opt);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_TRUE(noise::analyze(t, res.buffers, kLib).clean());
+  EXPECT_LE(elmore::slews(t, res.buffers, kLib).max_slew,
+            200.0 * ps * (1.0 + 1e-9));
+}
+
+TEST(SlewConstraint, MultiSinkWorstLeafGoverns) {
+  auto t = steiner::make_balanced_tree(3, 1200.0, default_driver(),
+                                       default_sink(15 * fF, 2 * ns),
+                                       lib::default_technology());
+  seg::segment(t, {400.0});
+  core::VgOptions opt;
+  opt.noise_constraints = false;
+  opt.max_slew = 250.0 * ps;
+  const auto res = core::optimize(t, kLib, opt);
+  ASSERT_TRUE(res.feasible);
+  const auto rep = elmore::slews(t, res.buffers, kLib);
+  for (const auto& leaf : rep.leaves)
+    EXPECT_LE(leaf.slew, 250.0 * ps * (1.0 + 1e-9));
+}
+
+}  // namespace

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+#include "lib/technology.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+
+struct Params {
+  double r_drv = 150.0;     // ohm
+  double r_per = 0.073;     // ohm/µm
+  double i_per = 1.058e-6;  // A/µm  (lambda*c*mu of the default tech)
+  double ns = 0.8;          // volt
+  double i_down = 50e-6;    // A
+};
+
+TEST(Theorem1, NoiseAtCriticalLengthEqualsSlack) {
+  const Params p;
+  const auto len = core::critical_length(p.r_drv, p.r_per, p.i_per, p.ns,
+                                         p.i_down);
+  ASSERT_TRUE(len.has_value());
+  const double noise =
+      core::uniform_wire_noise(p.r_drv, p.r_per, p.i_per, *len, p.i_down);
+  EXPECT_NEAR(noise, p.ns, p.ns * 1e-9);
+}
+
+TEST(Theorem1, LongerThanCriticalViolates) {
+  const Params p;
+  const auto len = core::critical_length(p.r_drv, p.r_per, p.i_per, p.ns,
+                                         p.i_down);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_GT(core::uniform_wire_noise(p.r_drv, p.r_per, p.i_per, *len * 1.01,
+                                     p.i_down),
+            p.ns);
+  EXPECT_LT(core::uniform_wire_noise(p.r_drv, p.r_per, p.i_per, *len * 0.99,
+                                     p.i_down),
+            p.ns);
+}
+
+TEST(Theorem1, SideConditionTooLate) {
+  // NS < R_drv * I: a buffer was needed strictly below (paper: "it is too
+  // late to insert a buffer on this wire").
+  EXPECT_FALSE(
+      core::critical_length(150.0, 0.073, 1e-6, 0.001, 1e-3).has_value());
+}
+
+TEST(Theorem1, ZeroSlackGivesZeroLength) {
+  // NS == R_drv * I exactly -> length 0.
+  const double i_down = 1e-3;
+  const double ns = 150.0 * i_down;
+  const auto len = core::critical_length(150.0, 0.073, 1e-6, ns, i_down);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_NEAR(*len, 0.0, 1e-9);
+}
+
+TEST(Theorem1, UnlimitedWhenNoCurrentAnywhere) {
+  const auto len = core::critical_length(150.0, 0.073, 0.0, 0.8, 0.0);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_TRUE(std::isinf(*len));
+}
+
+TEST(Theorem1, LinearCaseZeroWireResistance) {
+  // r = 0: noise = R_drv*(i*L + I) -> L = (NS - R*I)/(R*i).
+  const double len_expect = (0.8 - 150.0 * 50e-6) / (150.0 * 1e-6);
+  const auto len = core::critical_length(150.0, 0.0, 1e-6, 0.8, 50e-6);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_NEAR(*len, len_expect, 1e-6);
+}
+
+TEST(Theorem1, StrongerDriverAllowsLongerWire) {
+  const Params p;
+  const auto weak =
+      core::critical_length(400.0, p.r_per, p.i_per, p.ns, p.i_down);
+  const auto strong =
+      core::critical_length(50.0, p.r_per, p.i_per, p.ns, p.i_down);
+  ASSERT_TRUE(weak && strong);
+  EXPECT_GT(*strong, *weak);
+}
+
+TEST(Theorem1, LargerSlackAllowsLongerWire) {
+  const Params p;
+  const auto a = core::critical_length(p.r_drv, p.r_per, p.i_per, 0.4,
+                                       p.i_down);
+  const auto b = core::critical_length(p.r_drv, p.r_per, p.i_per, 0.8,
+                                       p.i_down);
+  ASSERT_TRUE(a && b);
+  EXPECT_GT(*b, *a);
+}
+
+TEST(Theorem1, MaximumAtZeroDriverAndCurrent) {
+  // Paper: the maximum length is sqrt(2*NS/(r*i)) when R_drv = I = 0.
+  const Params p;
+  const auto len = core::critical_length(0.0, p.r_per, p.i_per, p.ns, 0.0);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_NEAR(*len, std::sqrt(2.0 * p.ns / (p.r_per * p.i_per)), 1e-6);
+}
+
+TEST(Theorem1, DefaultTechnologyCriticalLengthIsMillimeters) {
+  // Sanity anchor for the whole experimental setup: with the paper's
+  // estimation-mode parameters a mid-strength buffer sustains roughly
+  // 2-4 mm of wire.
+  const auto tech = lib::default_technology();
+  const auto len = core::critical_length_coupling(
+      150.0, tech.wire_res_per_um, tech.wire_cap_per_um, tech.coupling_ratio,
+      tech.aggressor_slope(), 0.8, 0.0);
+  ASSERT_TRUE(len.has_value());
+  EXPECT_GT(*len, 2000.0);
+  EXPECT_LT(*len, 4500.0);
+}
+
+TEST(Theorem1, CouplingFormMatchesDirectForm) {
+  const auto tech = lib::default_technology();
+  const auto a = core::critical_length_coupling(
+      150.0, tech.wire_res_per_um, tech.wire_cap_per_um, tech.coupling_ratio,
+      tech.aggressor_slope(), 0.8, 10e-6);
+  const auto b = core::critical_length(
+      150.0, tech.wire_res_per_um, tech.coupling_current_per_um(), 0.8,
+      10e-6);
+  ASSERT_TRUE(a && b);
+  EXPECT_NEAR(*a, *b, 1e-9);
+}
+
+// --- eq. 17: separation distance ---------------------------------------------
+
+TEST(Separation, PluggingBackGivesExactSlack) {
+  const auto tech = lib::default_technology();
+  const double K = 1.0;  // lambda(d) = K/d, d in µm
+  const double L = 3000.0, i_down = 20e-6, ns = 0.8;
+  const auto d = core::required_separation(150.0, tech.wire_res_per_um,
+                                           tech.wire_cap_per_um, K,
+                                           tech.aggressor_slope(), ns, i_down,
+                                           L);
+  ASSERT_TRUE(d.has_value());
+  // Reconstruct noise at separation d: lambda = K/d.
+  const double lam = K / *d;
+  const double i_per = lam * tech.wire_cap_per_um * tech.aggressor_slope();
+  const double noise = core::uniform_wire_noise(150.0, tech.wire_res_per_um,
+                                                i_per, L, i_down);
+  EXPECT_NEAR(noise, ns, ns * 1e-9);
+}
+
+TEST(Separation, InfeasibleWhenResistiveNoiseAlone) {
+  // Downstream current noise through driver+wire already exceeds NS.
+  const auto d = core::required_separation(400.0, 0.073, 0.21e-15, 1.0,
+                                           7.2e9, 0.05, 1e-3, 2000.0);
+  EXPECT_FALSE(d.has_value());
+}
+
+TEST(Separation, LongerWireNeedsMoreSeparation) {
+  const auto tech = lib::default_technology();
+  const auto d1 = core::required_separation(150.0, tech.wire_res_per_um,
+                                            tech.wire_cap_per_um, 1.0,
+                                            tech.aggressor_slope(), 0.8, 0.0,
+                                            2000.0);
+  const auto d2 = core::required_separation(150.0, tech.wire_res_per_um,
+                                            tech.wire_cap_per_um, 1.0,
+                                            tech.aggressor_slope(), 0.8, 0.0,
+                                            6000.0);
+  ASSERT_TRUE(d1 && d2);
+  EXPECT_GT(*d2, *d1);
+}
+
+// --- uniform wire noise consistency with the per-wire metric -------------------
+
+TEST(UniformNoise, SegmentedSumEqualsClosedForm) {
+  // Splitting the wire into n segments and applying eq. 8/9 converges to the
+  // closed form as n grows (the closed form is the distributed limit).
+  const Params p;
+  const double L = 2500.0;
+  const double whole =
+      core::uniform_wire_noise(p.r_drv, p.r_per, p.i_per, L, p.i_down);
+  const int n = 2000;
+  const double seg = L / n;
+  double noise = 0.0;
+  double downstream = p.i_down;
+  // Walk from the sink end upward accumulating eq. 8 per segment; driver
+  // term added last.
+  for (int k = 0; k < n; ++k) {
+    noise += p.r_per * seg * (p.i_per * seg / 2.0 + downstream);
+    downstream += p.i_per * seg;
+  }
+  noise += p.r_drv * downstream;
+  EXPECT_NEAR(noise, whole, whole * 1e-3);
+}
+
+TEST(UniformNoise, MatchesTwoSegmentDecomposition) {
+  // Closed form must be *exactly* additive under the pi-model split.
+  const Params p;
+  const double L = 3000.0, L1 = 1100.0;
+  const double whole =
+      core::uniform_wire_noise(p.r_drv, p.r_per, p.i_per, L, p.i_down);
+  // Lower segment seen from a zero-resistance "driver", upper segment seen
+  // from the true driver with the lower segment's current downstream.
+  const double lower =
+      core::uniform_wire_noise(0.0, p.r_per, p.i_per, L1, p.i_down);
+  const double upper = core::uniform_wire_noise(
+      p.r_drv, p.r_per, p.i_per, L - L1, p.i_down + p.i_per * L1);
+  EXPECT_NEAR(whole, lower + upper, whole * 1e-12);
+}
+
+}  // namespace

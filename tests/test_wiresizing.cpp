@@ -1,0 +1,190 @@
+// Simultaneous wire sizing + buffer insertion (the Lillis extension).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/test_nets.hpp"
+#include "core/vanginneken.hpp"
+#include "elmore/elmore.hpp"
+#include "noise/devgan.hpp"
+#include "seg/segment.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+const lib::BufferLibrary kLib = lib::default_library();
+const lib::BufferLibrary kOne = lib::single_buffer_library();
+
+rct::RoutingTree net(double len, double seg_len, double rat = 2 * ns) {
+  auto t = steiner::make_two_pin(len, default_driver(150.0, 30 * ps),
+                                 default_sink(15 * fF, rat),
+                                 lib::default_technology());
+  seg::segment(t, {seg_len});
+  return t;
+}
+
+TEST(WireWidthLibrary, DefaultLadder) {
+  const auto l = lib::default_wire_widths();
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_DOUBLE_EQ(l.at(0).res_scale, 1.0);
+  EXPECT_LT(l.at(2).res_scale, l.at(1).res_scale);
+  EXPECT_GT(l.at(2).cap_scale, l.at(1).cap_scale);
+}
+
+TEST(WireWidthLibrary, Index0MustBeBase) {
+  lib::WireWidthLibrary l;
+  EXPECT_THROW(l.add({"w2x", 0.5, 1.4, 0.8}), std::invalid_argument);
+  l.add({"w1x", 1.0, 1.0, 1.0});
+  EXPECT_NO_THROW(l.add({"w2x", 0.5, 1.4, 0.8}));
+}
+
+TEST(WireWidthLibrary, RejectsBadScales) {
+  lib::WireWidthLibrary l;
+  l.add({"w1x", 1.0, 1.0, 1.0});
+  EXPECT_THROW(l.add({"bad", 0.0, 1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(l.add({"bad", 1.0, -1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(l.add({"", 1.0, 1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(WireSizing, ApplyScalesElectricalsKeepsLength) {
+  auto t = test::long_two_pin(1000.0);
+  const auto sink = t.sinks().front().node;
+  const rct::Wire before = t.node(sink).parent_wire;
+  core::apply_wire_widths(t, {{sink, 2}}, lib::default_wire_widths());
+  const rct::Wire after = t.node(sink).parent_wire;
+  EXPECT_DOUBLE_EQ(after.length, before.length);
+  EXPECT_DOUBLE_EQ(after.resistance, before.resistance * 0.25);
+  EXPECT_DOUBLE_EQ(after.capacitance, before.capacitance * 2.35);
+  EXPECT_DOUBLE_EQ(after.coupling_current, before.coupling_current * 0.65);
+}
+
+TEST(WireSizing, NeverWorseThanBufferingAlone) {
+  for (double len : {3000.0, 6000.0, 10000.0}) {
+    auto t = net(len, 500.0);
+    core::VgOptions plain, sized;
+    plain.noise_constraints = false;
+    sized.noise_constraints = false;
+    sized.wire_widths = lib::default_wire_widths();
+    const auto r0 = core::optimize(t, kLib, plain);
+    const auto r1 = core::optimize(t, kLib, sized);
+    EXPECT_GE(r1.slack, r0.slack - 1e-15) << len;
+  }
+}
+
+TEST(WireSizing, ActuallyImprovesLongResistiveNet) {
+  auto t = net(12000.0, 500.0);
+  core::VgOptions plain, sized;
+  plain.noise_constraints = false;
+  sized.noise_constraints = false;
+  sized.wire_widths = lib::default_wire_widths();
+  const auto r0 = core::optimize(t, kLib, plain);
+  const auto r1 = core::optimize(t, kLib, sized);
+  EXPECT_GT(r1.slack, r0.slack);       // widening must pay off here
+  EXPECT_FALSE(r1.wire_widths.empty());  // and some wire was widened
+}
+
+TEST(WireSizing, PredictedSlackMatchesEvaluation) {
+  auto t = net(9000.0, 750.0);
+  core::VgOptions opt;
+  opt.noise_constraints = false;
+  opt.wire_widths = lib::default_wire_widths();
+  const auto res = core::optimize(t, kLib, opt);
+  // Apply the chosen widths, then evaluate with Elmore.
+  auto sized = t;
+  core::apply_wire_widths(sized, res.wire_widths, opt.wire_widths);
+  const auto timing = elmore::analyze(sized, res.buffers, kLib);
+  EXPECT_NEAR(res.slack, timing.worst_slack, 1e-13);
+}
+
+TEST(WireSizing, NoiseModeStaysClean) {
+  auto t = net(10000.0, 500.0);
+  core::VgOptions opt;
+  opt.noise_constraints = true;
+  opt.wire_widths = lib::default_wire_widths();
+  const auto res = core::optimize(t, kLib, opt);
+  ASSERT_TRUE(res.feasible);
+  auto sized = t;
+  core::apply_wire_widths(sized, res.wire_widths, opt.wire_widths);
+  EXPECT_TRUE(noise::analyze(sized, res.buffers, kLib).clean());
+}
+
+TEST(WireSizing, MatchesBruteForceOnSmallNet) {
+  // 3 segments x 3 widths x {none, buf} per interior site, exhaustive.
+  auto t = net(4500.0, 1500.0);
+  const auto widths = lib::default_wire_widths();
+  std::vector<rct::NodeId> wires;  // nodes owning a sizable wire
+  std::vector<rct::NodeId> sites;
+  for (auto id : t.preorder()) {
+    const auto& n = t.node(id);
+    if (id != t.source()) wires.push_back(id);
+    if (n.kind == rct::NodeKind::Internal && n.buffer_allowed)
+      sites.push_back(id);
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> wsel(wires.size(), 0);
+  rct::BufferAssignment a;
+  std::function<void(std::size_t)> buf_rec = [&](std::size_t i) {
+    if (i == sites.size()) {
+      auto sized = t;
+      std::vector<core::PlannedWire> choices;
+      for (std::size_t k = 0; k < wires.size(); ++k)
+        if (wsel[k] != 0) choices.push_back({wires[k], wsel[k]});
+      core::apply_wire_widths(sized, choices, widths);
+      best = std::max(best, elmore::analyze(sized, a, kOne).worst_slack);
+      return;
+    }
+    buf_rec(i + 1);
+    a.place(sites[i], lib::BufferId{0});
+    buf_rec(i + 1);
+    a.remove(sites[i]);
+  };
+  std::function<void(std::size_t)> wire_rec = [&](std::size_t k) {
+    if (k == wires.size()) {
+      buf_rec(0);
+      return;
+    }
+    for (std::size_t w = 0; w < widths.size(); ++w) {
+      wsel[k] = w;
+      wire_rec(k + 1);
+    }
+    wsel[k] = 0;
+  };
+  wire_rec(0);
+
+  core::VgOptions opt;
+  opt.noise_constraints = false;
+  opt.wire_widths = widths;
+  const auto res = core::optimize(t, kOne, opt);
+  EXPECT_NEAR(res.slack, best, std::abs(best) * 1e-9);
+}
+
+TEST(WireSizing, BaseWidthNotRecorded) {
+  auto t = net(6000.0, 500.0);
+  core::VgOptions opt;
+  opt.noise_constraints = false;
+  opt.wire_widths = lib::default_wire_widths();
+  const auto res = core::optimize(t, kLib, opt);
+  for (const auto& w : res.wire_widths) EXPECT_NE(w.width, 0u);
+}
+
+TEST(WireSizing, PerCountCarriesWireChoices) {
+  auto t = net(9000.0, 750.0);
+  core::VgOptions opt;
+  opt.noise_constraints = false;
+  opt.max_buffers = 4;
+  opt.wire_widths = lib::default_wire_widths();
+  const auto res = core::optimize(t, kLib, opt);
+  for (const auto& cb : res.per_count) {
+    auto sized = t;
+    core::apply_wire_widths(sized, cb.wires, opt.wire_widths);
+    const auto timing =
+        elmore::analyze(sized, core::assignment_for(cb.plan), kLib);
+    EXPECT_NEAR(cb.slack, timing.worst_slack, 1e-13) << cb.count;
+  }
+}
+
+}  // namespace
