@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablA_pruning.dir/ablA_pruning.cpp.o"
+  "CMakeFiles/ablA_pruning.dir/ablA_pruning.cpp.o.d"
+  "ablA_pruning"
+  "ablA_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablA_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

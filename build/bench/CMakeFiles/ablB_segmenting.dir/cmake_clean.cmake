@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablB_segmenting.dir/ablB_segmenting.cpp.o"
+  "CMakeFiles/ablB_segmenting.dir/ablB_segmenting.cpp.o.d"
+  "ablB_segmenting"
+  "ablB_segmenting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablB_segmenting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablB_segmenting.
+# This may be replaced when dependencies are built.

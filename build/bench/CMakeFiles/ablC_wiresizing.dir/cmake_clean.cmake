@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablC_wiresizing.dir/ablC_wiresizing.cpp.o"
+  "CMakeFiles/ablC_wiresizing.dir/ablC_wiresizing.cpp.o.d"
+  "ablC_wiresizing"
+  "ablC_wiresizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablC_wiresizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablD_slew.dir/ablD_slew.cpp.o"
+  "CMakeFiles/ablD_slew.dir/ablD_slew.cpp.o.d"
+  "ablD_slew"
+  "ablD_slew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablD_slew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

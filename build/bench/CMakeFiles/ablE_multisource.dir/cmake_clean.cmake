@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablE_multisource.dir/ablE_multisource.cpp.o"
+  "CMakeFiles/ablE_multisource.dir/ablE_multisource.cpp.o.d"
+  "ablE_multisource"
+  "ablE_multisource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablE_multisource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

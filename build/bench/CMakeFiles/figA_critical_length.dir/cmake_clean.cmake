@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figA_critical_length.dir/figA_critical_length.cpp.o"
+  "CMakeFiles/figA_critical_length.dir/figA_critical_length.cpp.o.d"
+  "figA_critical_length"
+  "figA_critical_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figA_critical_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

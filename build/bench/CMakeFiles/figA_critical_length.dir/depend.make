@@ -1,0 +1,2 @@
+# Empty dependencies file for figA_critical_length.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figB_delay_only_insufficient.dir/figB_delay_only_insufficient.cpp.o"
+  "CMakeFiles/figB_delay_only_insufficient.dir/figB_delay_only_insufficient.cpp.o.d"
+  "figB_delay_only_insufficient"
+  "figB_delay_only_insufficient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figB_delay_only_insufficient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

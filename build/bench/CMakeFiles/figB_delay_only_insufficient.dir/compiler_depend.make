@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figB_delay_only_insufficient.
+# This may be replaced when dependencies are built.

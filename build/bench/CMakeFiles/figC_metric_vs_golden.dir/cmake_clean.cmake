@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figC_metric_vs_golden.dir/figC_metric_vs_golden.cpp.o"
+  "CMakeFiles/figC_metric_vs_golden.dir/figC_metric_vs_golden.cpp.o.d"
+  "figC_metric_vs_golden"
+  "figC_metric_vs_golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figC_metric_vs_golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

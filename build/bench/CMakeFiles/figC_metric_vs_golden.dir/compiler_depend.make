@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figC_metric_vs_golden.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figD_scaling.dir/figD_scaling.cpp.o"
+  "CMakeFiles/figD_scaling.dir/figD_scaling.cpp.o.d"
+  "figD_scaling"
+  "figD_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figD_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

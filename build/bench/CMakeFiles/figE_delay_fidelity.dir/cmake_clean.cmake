@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figE_delay_fidelity.dir/figE_delay_fidelity.cpp.o"
+  "CMakeFiles/figE_delay_fidelity.dir/figE_delay_fidelity.cpp.o.d"
+  "figE_delay_fidelity"
+  "figE_delay_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figE_delay_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figF_aggressor_model.dir/figF_aggressor_model.cpp.o"
+  "CMakeFiles/figF_aggressor_model.dir/figF_aggressor_model.cpp.o.d"
+  "figF_aggressor_model"
+  "figF_aggressor_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figF_aggressor_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

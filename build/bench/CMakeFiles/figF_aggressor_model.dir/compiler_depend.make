@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figF_aggressor_model.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figG_pulse_width.dir/figG_pulse_width.cpp.o"
+  "CMakeFiles/figG_pulse_width.dir/figG_pulse_width.cpp.o.d"
+  "figG_pulse_width"
+  "figG_pulse_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figG_pulse_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table2_noise_violations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_noise_violations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_buffopt_vs_delayopt.dir/table3_buffopt_vs_delayopt.cpp.o"
+  "CMakeFiles/table3_buffopt_vs_delayopt.dir/table3_buffopt_vs_delayopt.cpp.o.d"
+  "table3_buffopt_vs_delayopt"
+  "table3_buffopt_vs_delayopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_buffopt_vs_delayopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

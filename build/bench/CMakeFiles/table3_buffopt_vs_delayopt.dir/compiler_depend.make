@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_buffopt_vs_delayopt.
+# This may be replaced when dependencies are built.

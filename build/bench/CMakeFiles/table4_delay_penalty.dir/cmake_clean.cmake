@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_delay_penalty.dir/table4_delay_penalty.cpp.o"
+  "CMakeFiles/table4_delay_penalty.dir/table4_delay_penalty.cpp.o.d"
+  "table4_delay_penalty"
+  "table4_delay_penalty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_delay_penalty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggressor_study.dir/aggressor_study.cpp.o"
+  "CMakeFiles/aggressor_study.dir/aggressor_study.cpp.o.d"
+  "aggressor_study"
+  "aggressor_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggressor_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidirectional_bus.dir/bidirectional_bus.cpp.o"
+  "CMakeFiles/bidirectional_bus.dir/bidirectional_bus.cpp.o.d"
+  "bidirectional_bus"
+  "bidirectional_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidirectional_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_whatif.dir/incremental_whatif.cpp.o"
+  "CMakeFiles/incremental_whatif.dir/incremental_whatif.cpp.o.d"
+  "incremental_whatif"
+  "incremental_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_cleanup.dir/noise_cleanup.cpp.o"
+  "CMakeFiles/noise_cleanup.dir/noise_cleanup.cpp.o.d"
+  "noise_cleanup"
+  "noise_cleanup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("rct")
+subdirs("lib")
+subdirs("elmore")
+subdirs("noise")
+subdirs("seg")
+subdirs("steiner")
+subdirs("netgen")
+subdirs("sim")
+subdirs("moments")
+subdirs("core")
+subdirs("io")

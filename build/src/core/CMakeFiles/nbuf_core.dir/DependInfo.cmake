@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alg1_single_sink.cpp" "src/core/CMakeFiles/nbuf_core.dir/alg1_single_sink.cpp.o" "gcc" "src/core/CMakeFiles/nbuf_core.dir/alg1_single_sink.cpp.o.d"
+  "/root/repo/src/core/alg2_multi_sink.cpp" "src/core/CMakeFiles/nbuf_core.dir/alg2_multi_sink.cpp.o" "gcc" "src/core/CMakeFiles/nbuf_core.dir/alg2_multi_sink.cpp.o.d"
+  "/root/repo/src/core/multisource.cpp" "src/core/CMakeFiles/nbuf_core.dir/multisource.cpp.o" "gcc" "src/core/CMakeFiles/nbuf_core.dir/multisource.cpp.o.d"
+  "/root/repo/src/core/plan.cpp" "src/core/CMakeFiles/nbuf_core.dir/plan.cpp.o" "gcc" "src/core/CMakeFiles/nbuf_core.dir/plan.cpp.o.d"
+  "/root/repo/src/core/theory.cpp" "src/core/CMakeFiles/nbuf_core.dir/theory.cpp.o" "gcc" "src/core/CMakeFiles/nbuf_core.dir/theory.cpp.o.d"
+  "/root/repo/src/core/tool.cpp" "src/core/CMakeFiles/nbuf_core.dir/tool.cpp.o" "gcc" "src/core/CMakeFiles/nbuf_core.dir/tool.cpp.o.d"
+  "/root/repo/src/core/vanginneken.cpp" "src/core/CMakeFiles/nbuf_core.dir/vanginneken.cpp.o" "gcc" "src/core/CMakeFiles/nbuf_core.dir/vanginneken.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rct/CMakeFiles/nbuf_rct.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/nbuf_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/elmore/CMakeFiles/nbuf_elmore.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/nbuf_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/nbuf_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

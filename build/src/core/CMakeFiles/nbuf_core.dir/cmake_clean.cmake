@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_core.dir/alg1_single_sink.cpp.o"
+  "CMakeFiles/nbuf_core.dir/alg1_single_sink.cpp.o.d"
+  "CMakeFiles/nbuf_core.dir/alg2_multi_sink.cpp.o"
+  "CMakeFiles/nbuf_core.dir/alg2_multi_sink.cpp.o.d"
+  "CMakeFiles/nbuf_core.dir/multisource.cpp.o"
+  "CMakeFiles/nbuf_core.dir/multisource.cpp.o.d"
+  "CMakeFiles/nbuf_core.dir/plan.cpp.o"
+  "CMakeFiles/nbuf_core.dir/plan.cpp.o.d"
+  "CMakeFiles/nbuf_core.dir/theory.cpp.o"
+  "CMakeFiles/nbuf_core.dir/theory.cpp.o.d"
+  "CMakeFiles/nbuf_core.dir/tool.cpp.o"
+  "CMakeFiles/nbuf_core.dir/tool.cpp.o.d"
+  "CMakeFiles/nbuf_core.dir/vanginneken.cpp.o"
+  "CMakeFiles/nbuf_core.dir/vanginneken.cpp.o.d"
+  "libnbuf_core.a"
+  "libnbuf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

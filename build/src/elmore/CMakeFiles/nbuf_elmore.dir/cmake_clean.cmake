@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_elmore.dir/elmore.cpp.o"
+  "CMakeFiles/nbuf_elmore.dir/elmore.cpp.o.d"
+  "CMakeFiles/nbuf_elmore.dir/slew.cpp.o"
+  "CMakeFiles/nbuf_elmore.dir/slew.cpp.o.d"
+  "libnbuf_elmore.a"
+  "libnbuf_elmore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_elmore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

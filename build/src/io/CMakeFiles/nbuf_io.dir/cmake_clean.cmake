@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_io.dir/netfile.cpp.o"
+  "CMakeFiles/nbuf_io.dir/netfile.cpp.o.d"
+  "libnbuf_io.a"
+  "libnbuf_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_lib.dir/buffer.cpp.o"
+  "CMakeFiles/nbuf_lib.dir/buffer.cpp.o.d"
+  "CMakeFiles/nbuf_lib.dir/technology.cpp.o"
+  "CMakeFiles/nbuf_lib.dir/technology.cpp.o.d"
+  "CMakeFiles/nbuf_lib.dir/wire.cpp.o"
+  "CMakeFiles/nbuf_lib.dir/wire.cpp.o.d"
+  "libnbuf_lib.a"
+  "libnbuf_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnbuf_lib.a"
+)

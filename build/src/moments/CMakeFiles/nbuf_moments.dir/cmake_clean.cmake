@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_moments.dir/moments.cpp.o"
+  "CMakeFiles/nbuf_moments.dir/moments.cpp.o.d"
+  "libnbuf_moments.a"
+  "libnbuf_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

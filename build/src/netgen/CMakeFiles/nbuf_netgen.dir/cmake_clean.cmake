@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_netgen.dir/netgen.cpp.o"
+  "CMakeFiles/nbuf_netgen.dir/netgen.cpp.o.d"
+  "libnbuf_netgen.a"
+  "libnbuf_netgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_netgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_noise.dir/coupling.cpp.o"
+  "CMakeFiles/nbuf_noise.dir/coupling.cpp.o.d"
+  "CMakeFiles/nbuf_noise.dir/devgan.cpp.o"
+  "CMakeFiles/nbuf_noise.dir/devgan.cpp.o.d"
+  "CMakeFiles/nbuf_noise.dir/incremental.cpp.o"
+  "CMakeFiles/nbuf_noise.dir/incremental.cpp.o.d"
+  "CMakeFiles/nbuf_noise.dir/pulse.cpp.o"
+  "CMakeFiles/nbuf_noise.dir/pulse.cpp.o.d"
+  "libnbuf_noise.a"
+  "libnbuf_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

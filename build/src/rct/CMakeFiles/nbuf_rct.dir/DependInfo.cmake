@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rct/assignment.cpp" "src/rct/CMakeFiles/nbuf_rct.dir/assignment.cpp.o" "gcc" "src/rct/CMakeFiles/nbuf_rct.dir/assignment.cpp.o.d"
+  "/root/repo/src/rct/extract.cpp" "src/rct/CMakeFiles/nbuf_rct.dir/extract.cpp.o" "gcc" "src/rct/CMakeFiles/nbuf_rct.dir/extract.cpp.o.d"
+  "/root/repo/src/rct/reroot.cpp" "src/rct/CMakeFiles/nbuf_rct.dir/reroot.cpp.o" "gcc" "src/rct/CMakeFiles/nbuf_rct.dir/reroot.cpp.o.d"
+  "/root/repo/src/rct/stage.cpp" "src/rct/CMakeFiles/nbuf_rct.dir/stage.cpp.o" "gcc" "src/rct/CMakeFiles/nbuf_rct.dir/stage.cpp.o.d"
+  "/root/repo/src/rct/tree.cpp" "src/rct/CMakeFiles/nbuf_rct.dir/tree.cpp.o" "gcc" "src/rct/CMakeFiles/nbuf_rct.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nbuf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/nbuf_lib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_rct.dir/assignment.cpp.o"
+  "CMakeFiles/nbuf_rct.dir/assignment.cpp.o.d"
+  "CMakeFiles/nbuf_rct.dir/extract.cpp.o"
+  "CMakeFiles/nbuf_rct.dir/extract.cpp.o.d"
+  "CMakeFiles/nbuf_rct.dir/reroot.cpp.o"
+  "CMakeFiles/nbuf_rct.dir/reroot.cpp.o.d"
+  "CMakeFiles/nbuf_rct.dir/stage.cpp.o"
+  "CMakeFiles/nbuf_rct.dir/stage.cpp.o.d"
+  "CMakeFiles/nbuf_rct.dir/tree.cpp.o"
+  "CMakeFiles/nbuf_rct.dir/tree.cpp.o.d"
+  "libnbuf_rct.a"
+  "libnbuf_rct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_rct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

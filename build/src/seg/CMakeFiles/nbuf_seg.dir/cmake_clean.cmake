@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_seg.dir/segment.cpp.o"
+  "CMakeFiles/nbuf_seg.dir/segment.cpp.o.d"
+  "libnbuf_seg.a"
+  "libnbuf_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

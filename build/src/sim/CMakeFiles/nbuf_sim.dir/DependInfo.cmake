@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/delay.cpp" "src/sim/CMakeFiles/nbuf_sim.dir/delay.cpp.o" "gcc" "src/sim/CMakeFiles/nbuf_sim.dir/delay.cpp.o.d"
+  "/root/repo/src/sim/dense.cpp" "src/sim/CMakeFiles/nbuf_sim.dir/dense.cpp.o" "gcc" "src/sim/CMakeFiles/nbuf_sim.dir/dense.cpp.o.d"
+  "/root/repo/src/sim/golden.cpp" "src/sim/CMakeFiles/nbuf_sim.dir/golden.cpp.o" "gcc" "src/sim/CMakeFiles/nbuf_sim.dir/golden.cpp.o.d"
+  "/root/repo/src/sim/stage_circuit.cpp" "src/sim/CMakeFiles/nbuf_sim.dir/stage_circuit.cpp.o" "gcc" "src/sim/CMakeFiles/nbuf_sim.dir/stage_circuit.cpp.o.d"
+  "/root/repo/src/sim/tree_solver.cpp" "src/sim/CMakeFiles/nbuf_sim.dir/tree_solver.cpp.o" "gcc" "src/sim/CMakeFiles/nbuf_sim.dir/tree_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rct/CMakeFiles/nbuf_rct.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/nbuf_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

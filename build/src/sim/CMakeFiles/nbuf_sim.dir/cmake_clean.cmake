@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_sim.dir/delay.cpp.o"
+  "CMakeFiles/nbuf_sim.dir/delay.cpp.o.d"
+  "CMakeFiles/nbuf_sim.dir/dense.cpp.o"
+  "CMakeFiles/nbuf_sim.dir/dense.cpp.o.d"
+  "CMakeFiles/nbuf_sim.dir/golden.cpp.o"
+  "CMakeFiles/nbuf_sim.dir/golden.cpp.o.d"
+  "CMakeFiles/nbuf_sim.dir/stage_circuit.cpp.o"
+  "CMakeFiles/nbuf_sim.dir/stage_circuit.cpp.o.d"
+  "CMakeFiles/nbuf_sim.dir/tree_solver.cpp.o"
+  "CMakeFiles/nbuf_sim.dir/tree_solver.cpp.o.d"
+  "libnbuf_sim.a"
+  "libnbuf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

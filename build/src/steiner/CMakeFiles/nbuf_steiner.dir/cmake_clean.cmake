@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_steiner.dir/builders.cpp.o"
+  "CMakeFiles/nbuf_steiner.dir/builders.cpp.o.d"
+  "CMakeFiles/nbuf_steiner.dir/steiner.cpp.o"
+  "CMakeFiles/nbuf_steiner.dir/steiner.cpp.o.d"
+  "libnbuf_steiner.a"
+  "libnbuf_steiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

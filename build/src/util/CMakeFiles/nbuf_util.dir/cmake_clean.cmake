@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_util.dir/stats.cpp.o"
+  "CMakeFiles/nbuf_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nbuf_util.dir/table.cpp.o"
+  "CMakeFiles/nbuf_util.dir/table.cpp.o.d"
+  "libnbuf_util.a"
+  "libnbuf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

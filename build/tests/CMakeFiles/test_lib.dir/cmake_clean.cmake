@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lib.dir/test_lib.cpp.o"
+  "CMakeFiles/test_lib.dir/test_lib.cpp.o.d"
+  "test_lib"
+  "test_lib.pdb"
+  "test_lib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

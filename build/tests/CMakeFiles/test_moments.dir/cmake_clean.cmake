@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moments.dir/test_moments.cpp.o"
+  "CMakeFiles/test_moments.dir/test_moments.cpp.o.d"
+  "test_moments"
+  "test_moments.pdb"
+  "test_moments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multisource.dir/test_multisource.cpp.o"
+  "CMakeFiles/test_multisource.dir/test_multisource.cpp.o.d"
+  "test_multisource"
+  "test_multisource.pdb"
+  "test_multisource[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multisource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

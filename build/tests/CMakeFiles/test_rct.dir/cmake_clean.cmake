@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rct.dir/test_rct.cpp.o"
+  "CMakeFiles/test_rct.dir/test_rct.cpp.o.d"
+  "test_rct"
+  "test_rct.pdb"
+  "test_rct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_slew.cpp" "tests/CMakeFiles/test_slew.dir/test_slew.cpp.o" "gcc" "tests/CMakeFiles/test_slew.dir/test_slew.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nbuf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbuf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/moments/CMakeFiles/nbuf_moments.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/nbuf_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/netgen/CMakeFiles/nbuf_netgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/steiner/CMakeFiles/nbuf_steiner.dir/DependInfo.cmake"
+  "/root/repo/build/src/noise/CMakeFiles/nbuf_noise.dir/DependInfo.cmake"
+  "/root/repo/build/src/elmore/CMakeFiles/nbuf_elmore.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/nbuf_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rct/CMakeFiles/nbuf_rct.dir/DependInfo.cmake"
+  "/root/repo/build/src/lib/CMakeFiles/nbuf_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

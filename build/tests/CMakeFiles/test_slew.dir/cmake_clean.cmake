@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slew.dir/test_slew.cpp.o"
+  "CMakeFiles/test_slew.dir/test_slew.cpp.o.d"
+  "test_slew"
+  "test_slew.pdb"
+  "test_slew[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steiner.dir/test_steiner.cpp.o"
+  "CMakeFiles/test_steiner.dir/test_steiner.cpp.o.d"
+  "test_steiner"
+  "test_steiner.pdb"
+  "test_steiner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

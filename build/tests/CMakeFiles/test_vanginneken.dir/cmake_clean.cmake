@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vanginneken.dir/test_vanginneken.cpp.o"
+  "CMakeFiles/test_vanginneken.dir/test_vanginneken.cpp.o.d"
+  "test_vanginneken"
+  "test_vanginneken.pdb"
+  "test_vanginneken[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vanginneken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

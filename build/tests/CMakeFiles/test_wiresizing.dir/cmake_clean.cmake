@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wiresizing.dir/test_wiresizing.cpp.o"
+  "CMakeFiles/test_wiresizing.dir/test_wiresizing.cpp.o.d"
+  "test_wiresizing"
+  "test_wiresizing.pdb"
+  "test_wiresizing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wiresizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

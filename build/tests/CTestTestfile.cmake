@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rct[1]_include.cmake")
+include("/root/repo/build/tests/test_lib[1]_include.cmake")
+include("/root/repo/build/tests/test_elmore[1]_include.cmake")
+include("/root/repo/build/tests/test_noise[1]_include.cmake")
+include("/root/repo/build/tests/test_theory[1]_include.cmake")
+include("/root/repo/build/tests/test_seg[1]_include.cmake")
+include("/root/repo/build/tests/test_steiner[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_alg1[1]_include.cmake")
+include("/root/repo/build/tests/test_alg2[1]_include.cmake")
+include("/root/repo/build/tests/test_vanginneken[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_slew[1]_include.cmake")
+include("/root/repo/build/tests/test_pulse[1]_include.cmake")
+include("/root/repo/build/tests/test_multisource[1]_include.cmake")
+include("/root/repo/build/tests/test_moments[1]_include.cmake")
+include("/root/repo/build/tests/test_wiresizing[1]_include.cmake")
+include("/root/repo/build/tests/test_netgen[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")

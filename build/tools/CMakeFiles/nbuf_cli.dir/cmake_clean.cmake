@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_cli.dir/nbuf_cli.cpp.o"
+  "CMakeFiles/nbuf_cli.dir/nbuf_cli.cpp.o.d"
+  "nbuf_cli"
+  "nbuf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbuf_gen.dir/nbuf_gen.cpp.o"
+  "CMakeFiles/nbuf_gen.dir/nbuf_gen.cpp.o.d"
+  "nbuf_gen"
+  "nbuf_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbuf_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

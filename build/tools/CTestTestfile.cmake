@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_buffopt_long_two_pin "/root/repo/build/tools/nbuf_cli" "/root/repo/examples/nets/long_two_pin.net" "--golden" "-o" "/root/repo/build/cli_out.net")
+set_tests_properties(cli_buffopt_long_two_pin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_reanalyze_own_output "/root/repo/build/tools/nbuf_cli" "/root/repo/build/cli_out.net" "--mode" "analyze" "--golden")
+set_tests_properties(cli_reanalyze_own_output PROPERTIES  DEPENDS "cli_buffopt_long_two_pin" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_alg2_control_tree "/root/repo/build/tools/nbuf_cli" "/root/repo/examples/nets/control_tree.net" "--mode" "noise")
+set_tests_properties(cli_alg2_control_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_explicit_wires "/root/repo/build/tools/nbuf_cli" "/root/repo/examples/nets/explicit_wires.net" "--mode" "analyze")
+set_tests_properties(cli_analyze_explicit_wires PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;22;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_delayopt_with_sizing "/root/repo/build/tools/nbuf_cli" "/root/repo/examples/nets/long_two_pin.net" "--mode" "delayopt" "--max-buffers" "3" "--wire-sizing")
+set_tests_properties(cli_delayopt_with_sizing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_file "/root/repo/build/tools/nbuf_cli" "/root/repo/DESIGN.md")
+set_tests_properties(cli_rejects_bad_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;28;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_on_no_args "/root/repo/build/tools/nbuf_cli")
+set_tests_properties(cli_usage_on_no_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(gen_exports_workload "/root/repo/build/tools/nbuf_gen" "/root/repo/build/gen_out" "--count" "5" "--seed" "11")
+set_tests_properties(gen_exports_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
