@@ -1,0 +1,84 @@
+// figH: batch-engine thread scaling.
+//
+// Runs the full BuffOpt pipeline over a netgen workload (default 1,000
+// nets) at 1/2/4/8 worker threads and reports throughput in nets/sec plus
+// speedup versus the single-threaded run. The per-net work is independent
+// (no shared mutable state), so on an N-core machine the expected speedup
+// at T <= N threads is close to T; the acceptance target is >= 2.5x at 4
+// threads on 4+ cores. The run also cross-checks the determinism guarantee:
+// aggregate buffer counts and VgStats counters must be identical at every
+// thread count.
+//
+//   figH_batch_scaling [--count N] [--seed S]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "batch/batch.hpp"
+#include "common/workload.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nbuf;
+
+  std::size_t count = 1000;
+  std::uint64_t seed = 9851;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--count" && i + 1 < argc) {
+      count = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = std::stoull(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--count N] [--seed S]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto library = lib::default_library();
+  netgen::TestbenchOptions gen = bench::paper_testbench_options();
+  gen.net_count = count;
+  gen.seed = seed;
+  std::fprintf(stderr, "[workload] generating %zu-net testbench...\n",
+               count);
+  const auto nets =
+      batch::from_generated(netgen::generate_testbench(library, gen));
+  std::fprintf(stderr, "[workload] done (%u hardware thread(s)).\n",
+               std::thread::hardware_concurrency());
+
+  std::printf("== figH: batch thread scaling, %zu-net BuffOpt workload "
+              "==\n\n",
+              nets.size());
+  util::Table table({"threads", "wall (s)", "nets/sec", "speedup",
+                     "buffers", "candidates"});
+  double base_wall = 0.0;
+  std::size_t base_buffers = 0, base_candidates = 0;
+  bool deterministic = true;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    batch::BatchOptions opt;
+    opt.threads = threads;
+    const batch::BatchEngine engine(opt);
+    const batch::BatchResult res = engine.run(nets, library);
+    const batch::BatchSummary& s = res.summary;
+    if (threads == 1) {
+      base_wall = s.wall_seconds;
+      base_buffers = s.buffers_inserted;
+      base_candidates = s.stats.candidates_generated;
+    } else if (s.buffers_inserted != base_buffers ||
+               s.stats.candidates_generated != base_candidates) {
+      deterministic = false;
+    }
+    table.add_row(
+        {util::Table::integer(threads), util::Table::num(s.wall_seconds, 3),
+         util::Table::num(s.nets_per_second(), 1),
+         util::Table::num(base_wall / s.wall_seconds, 2) + "x",
+         util::Table::integer(static_cast<long long>(s.buffers_inserted)),
+         util::Table::integer(
+             static_cast<long long>(s.stats.candidates_generated))});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("results identical across thread counts -> %s\n",
+              deterministic ? "HOLDS" : "BROKEN");
+  return deterministic ? 0 : 1;
+}

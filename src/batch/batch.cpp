@@ -1,0 +1,121 @@
+#include "batch/batch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "io/netfile.hpp"
+#include "util/check.hpp"
+
+namespace nbuf::batch {
+
+BatchEngine::BatchEngine(BatchOptions options) : opt_(std::move(options)) {}
+
+std::size_t BatchEngine::thread_count() const {
+  if (opt_.threads != 0) return opt_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+BatchResult BatchEngine::run(const std::vector<BatchNet>& nets,
+                             const lib::BufferLibrary& lib) const {
+  NBUF_EXPECTS_MSG(!lib.empty(), "empty buffer library");
+  BatchResult out;
+  out.results.resize(nets.size());
+  out.summary.net_count = nets.size();
+  if (nets.empty()) return out;
+
+  core::ToolOptions tool = opt_.tool;
+  tool.vg.collect_stats = opt_.collect_stats;
+  tool.vg.max_buffers = opt_.max_buffers;
+
+  // Each worker claims the next unprocessed index and writes into that
+  // index's result slot; nets are never touched after construction and the
+  // pipeline works on its own copy, so no two threads share mutable state.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= nets.size()) return;
+      try {
+        out.results[i] =
+            opt_.mode == BatchMode::BuffOpt
+                ? core::run_buffopt(nets[i].tree, lib, tool)
+                : core::run_delayopt(nets[i].tree, lib, opt_.max_buffers,
+                                     tool);
+      } catch (...) {
+        const std::lock_guard<std::mutex> hold(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining: other workers may be mid-net; claiming the rest of
+        // the queue (and doing nothing with it) lets everyone finish fast.
+        next.store(nets.size(), std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const std::size_t workers = std::min(thread_count(), nets.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Serial aggregation in index order: every field below is a pure function
+  // of the (deterministic) per-net results, so the summary's counters are
+  // schedule-independent too.
+  BatchSummary& s = out.summary;
+  s.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const core::ToolResult& r : out.results) {
+    s.feasible += r.vg.feasible ? 1 : 0;
+    s.noise_clean_before += r.noise_before.clean() ? 1 : 0;
+    s.noise_clean_after += r.noise_after.clean() ? 1 : 0;
+    s.timing_met += r.vg.timing_met ? 1 : 0;
+    s.buffers_inserted += r.vg.buffer_count;
+    s.stats += r.vg.stats;
+    s.dp_seconds += r.optimize_seconds;
+  }
+  return out;
+}
+
+std::vector<BatchNet> from_generated(std::vector<netgen::GeneratedNet> nets) {
+  std::vector<BatchNet> out;
+  out.reserve(nets.size());
+  for (netgen::GeneratedNet& n : nets)
+    out.push_back(BatchNet{std::move(n.name), std::move(n.tree)});
+  return out;
+}
+
+std::vector<BatchNet> load_directory(const std::string& dir,
+                                     const lib::BufferLibrary& lib) {
+  namespace fs = std::filesystem;
+  NBUF_EXPECTS_MSG(fs::is_directory(dir), "batch input is not a directory");
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir))
+    if (e.is_regular_file() && e.path().extension() == ".net")
+      files.push_back(e.path());
+  std::sort(files.begin(), files.end());
+  std::vector<BatchNet> out;
+  out.reserve(files.size());
+  for (const fs::path& p : files) {
+    io::NetFile f = io::read_net_file(p.string(), lib);
+    out.push_back(BatchNet{f.name.empty() ? p.filename().string()
+                                          : std::move(f.name),
+                           std::move(f.tree)});
+  }
+  return out;
+}
+
+}  // namespace nbuf::batch

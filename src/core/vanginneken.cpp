@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <limits>
 
 #include "elmore/slew.hpp"
@@ -10,6 +11,27 @@
 namespace nbuf::core {
 
 namespace {
+
+// Accumulates wall time into `*sink` on destruction; no-op when `sink` is
+// null (stats collection off), so the default path never reads the clock.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink) : sink_(sink) {
+    if (sink_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (sink_)
+      *sink_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 struct VgCand {
   double load = 0.0;         // C — downstream capacitance
@@ -43,15 +65,16 @@ class VgRun {
   void extend_wire(NodeLists& lists, rct::NodeId child);
   void insert_buffers(NodeLists& lists, rct::NodeId v);
   NodeLists merge(const NodeLists& l, const NodeLists& r);
-  void note_created(std::size_t n) { created_ += n; }
+  void note_created(std::size_t n) { stats_.candidates_generated += n; }
+  [[nodiscard]] double* timed(double util::VgStats::*field) {
+    return opt_.collect_stats ? &(stats_.*field) : nullptr;
+  }
 
   const rct::RoutingTree& tree_;
   const lib::BufferLibrary& lib_;
   const VgOptions& opt_;
   PlanArena arena_;
-  std::size_t created_ = 0;
-  std::size_t max_list_ = 0;
-  std::size_t noise_pruned_ = 0;
+  util::VgStats stats_;
 };
 
 // Pareto pruning on (load, slack) only — paper Step 7; with noise enabled,
@@ -60,7 +83,7 @@ void VgRun::prune(CandList& list) {
   if (opt_.noise_constraints) {
     const std::size_t before = list.size();
     std::erase_if(list, [](const VgCand& c) { return c.noise_slack < 0.0; });
-    noise_pruned_ += before - list.size();
+    stats_.pruned_infeasible += before - list.size();
   }
   std::sort(list.begin(), list.end(), [](const VgCand& a, const VgCand& b) {
     if (a.load != b.load) return a.load < b.load;
@@ -74,12 +97,14 @@ void VgRun::prune(CandList& list) {
       kept.push_back(c);
       best_slack = c.slack;
     }
+    stats_.pruned_inferior += list.size() - kept.size();
     list = std::move(kept);
   }
-  max_list_ = std::max(max_list_, list.size());
+  stats_.peak_list_size = std::max(stats_.peak_list_size, list.size());
 }
 
 void VgRun::extend_wire(NodeLists& lists, rct::NodeId child) {
+  const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
   const rct::Wire& w = tree_.node(child).parent_wire;
   if (w.length <= 0.0 && w.resistance <= 0.0 && w.capacitance <= 0.0)
     return;  // binarization dummy
@@ -130,6 +155,7 @@ void VgRun::extend_wire(NodeLists& lists, rct::NodeId child) {
 }
 
 void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
+  const PhaseTimer timer(timed(&util::VgStats::buffer_seconds));
   // Snapshot the pre-insertion lists: every type considers only unbuffered-
   // at-v candidates, enforcing one buffer per node (Step 5). Reading
   // `lists` directly would let a later type stack on top of an earlier
@@ -189,6 +215,7 @@ void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
 }
 
 NodeLists VgRun::merge(const NodeLists& l, const NodeLists& r) {
+  const PhaseTimer timer(timed(&util::VgStats::merge_seconds));
   const std::size_t kmax = opt_.max_buffers;
   NodeLists out;
   for (auto& pl : out.by_phase) pl.resize(kmax + 1);
@@ -213,6 +240,7 @@ NodeLists VgRun::merge(const NodeLists& l, const NodeLists& r) {
           m.plan = arena_.merge(a[i].plan, b[j].plan);
           dst.push_back(m);
           note_created(1);
+          ++stats_.merged;
           if (a[i].slack < b[j].slack) {
             ++i;
           } else if (b[j].slack < a[i].slack) {
@@ -299,9 +327,10 @@ VgResult VgRun::run() {
     if (found) result.per_count.push_back(std::move(best));
   }
 
-  result.candidates_created = created_;
-  result.max_list_size = max_list_;
-  result.candidates_noise_pruned = noise_pruned_;
+  result.stats = stats_;
+  result.candidates_created = stats_.candidates_generated;
+  result.max_list_size = stats_.peak_list_size;
+  result.candidates_noise_pruned = stats_.pruned_infeasible;
 
   if (result.per_count.empty()) {
     // No candidate satisfies the noise constraints at any count (possible

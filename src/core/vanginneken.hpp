@@ -26,6 +26,7 @@
 #include "lib/wire.hpp"
 #include "rct/assignment.hpp"
 #include "rct/tree.hpp"
+#include "util/stats.hpp"
 
 namespace nbuf::core {
 
@@ -63,6 +64,9 @@ struct VgOptions {
   // MinBuffersMeetingConstraints then minimizes total cost, and
   // `max_buffers` caps total cost.
   std::vector<std::size_t> buffer_costs;
+  // Additionally measure per-phase wall time into VgResult::stats (the
+  // counters in there are always exact; only the clock reads are opt-in).
+  bool collect_stats = false;
 };
 
 // The best solution of exactly this total cost (= buffer count when no
@@ -89,10 +93,15 @@ struct VgResult {
   double slack = 0.0;
   std::vector<CountBest> per_count;  // ascending by count; only counts that
                                      // produced any candidate appear
-  // Ablation counters.
+  // Ablation counters (legacy aliases of the fields in `stats`, kept for
+  // the existing benches: created = stats.candidates_generated, max list =
+  // stats.peak_list_size, noise pruned = stats.pruned_infeasible).
   std::size_t candidates_created = 0;
   std::size_t max_list_size = 0;
   std::size_t candidates_noise_pruned = 0;
+  // Full DP-efficiency counter block (Li & Shi lens); wall times are filled
+  // only when VgOptions::collect_stats is set.
+  util::VgStats stats;
 };
 
 // Runs the DP on `tree` (must be binary; run seg::segment first to create

@@ -2,10 +2,30 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.hpp"
 
 namespace nbuf::util {
+
+std::string format(const VgStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "generated %zu, pruned inferior %zu, pruned infeasible %zu, "
+                "merged %zu, peak list %zu",
+                s.candidates_generated, s.pruned_inferior,
+                s.pruned_infeasible, s.merged, s.peak_list_size);
+  std::string out = buf;
+  const double timed = s.wire_seconds + s.buffer_seconds + s.merge_seconds;
+  if (timed > 0.0) {
+    std::snprintf(buf, sizeof buf,
+                  "; phases wire %.1f ms, buffer %.1f ms, merge %.1f ms",
+                  s.wire_seconds * 1e3, s.buffer_seconds * 1e3,
+                  s.merge_seconds * 1e3);
+    out += buf;
+  }
+  return out;
+}
 
 Summary summarize(const std::vector<double>& xs) {
   Summary s;

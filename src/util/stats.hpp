@@ -1,11 +1,59 @@
 // Small descriptive-statistics helpers used by the workload generator and
-// the experiment harnesses.
+// the experiment harnesses, plus the VgStats counter block shared by the
+// Van Ginneken DP (core/vanginneken) and the batch engine (batch/batch).
 #pragma once
 
+#include <cstddef>
 #include <map>
+#include <string>
 #include <vector>
 
 namespace nbuf::util {
+
+// Counters describing one Van Ginneken-style DP run (Li & Shi's lens on DP
+// efficiency: how many candidates exist and how many pruning kills). The
+// counters are exact and schedule-independent; the per-phase wall times are
+// measured only when core::VgOptions::collect_stats is set (steady_clock
+// reads are not free on the hot path) and are, of course, not reproducible.
+// Defined here, below core, so batch aggregation and CLI reporting need no
+// dependency on the optimizer itself.
+struct VgStats {
+  std::size_t candidates_generated = 0;  // every candidate materialized
+  std::size_t pruned_inferior = 0;       // (load, slack)-dominated (Step 7)
+  std::size_t pruned_infeasible = 0;     // dead: noise slack went negative
+  std::size_t merged = 0;                // produced by two-child merges
+  std::size_t peak_list_size = 0;        // largest single candidate list
+  // Per-phase wall time (seconds); zero unless timing was requested.
+  double wire_seconds = 0.0;    // extend-candidates-through-wire phase
+  double buffer_seconds = 0.0;  // buffer-insertion phase
+  double merge_seconds = 0.0;   // two-child merge phase
+
+  // Aggregation: counters and times add, the peak takes the max.
+  VgStats& operator+=(const VgStats& o) {
+    candidates_generated += o.candidates_generated;
+    pruned_inferior += o.pruned_inferior;
+    pruned_infeasible += o.pruned_infeasible;
+    merged += o.merged;
+    peak_list_size = peak_list_size < o.peak_list_size ? o.peak_list_size
+                                                       : peak_list_size;
+    wire_seconds += o.wire_seconds;
+    buffer_seconds += o.buffer_seconds;
+    merge_seconds += o.merge_seconds;
+    return *this;
+  }
+
+  // Equality of the deterministic part only (wall times never reproduce).
+  [[nodiscard]] bool same_counters(const VgStats& o) const {
+    return candidates_generated == o.candidates_generated &&
+           pruned_inferior == o.pruned_inferior &&
+           pruned_infeasible == o.pruned_infeasible && merged == o.merged &&
+           peak_list_size == o.peak_list_size;
+  }
+};
+
+// One-line human-readable rendering of the counters (times appended only
+// when any phase was timed).
+[[nodiscard]] std::string format(const VgStats& s);
 
 struct Summary {
   std::size_t count = 0;

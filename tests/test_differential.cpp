@@ -1,0 +1,149 @@
+// Property-based differential test: Algorithm 2 versus exhaustive
+// enumeration of buffer placements on random small trees.
+//
+// For each random tree (<= 6 sinks) we check, against brute force:
+//  * feasibility — the Algorithm 2 solution is noise-clean under the same
+//    Devgan analysis every placement is judged by;
+//  * minimality — no assignment with FEWER buffers on the sites of
+//    Algorithm 2's own output tree is clean (Theorem 3/paper Section III-C
+//    claims optimality over continuous placements, so in particular over
+//    any finite subset of them);
+//  * upper bound — Algorithm 2 never uses more buffers than the best
+//    exhaustive solution on an independently segmented copy of the tree.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "common/test_nets.hpp"
+#include "core/alg1_single_sink.hpp"
+#include "core/alg2_multi_sink.hpp"
+#include "noise/devgan.hpp"
+#include "seg/segment.hpp"
+#include "steiner/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using test::default_driver;
+using test::default_sink;
+
+const lib::BufferLibrary kLib = lib::default_library();
+
+rct::RoutingTree random_net(util::Rng& rng, int sinks, double span) {
+  std::vector<steiner::PinSpec> pins;
+  for (int i = 0; i < sinks; ++i) {
+    steiner::PinSpec p;
+    p.at = {rng.uniform(0.2 * span, span), rng.uniform(0, span)};
+    p.info = default_sink(rng.uniform(5 * fF, 30 * fF), 0.0, 0.8,
+                          ("s" + std::to_string(i)).c_str());
+    pins.push_back(p);
+  }
+  return steiner::build_tree({0, 0}, default_driver(rng.uniform(60, 400)),
+                             pins, lib::default_technology());
+}
+
+std::vector<rct::NodeId> buffer_sites(const rct::RoutingTree& t) {
+  std::vector<rct::NodeId> sites;
+  for (auto id : t.preorder())
+    if (t.node(id).kind == rct::NodeKind::Internal &&
+        t.node(id).buffer_allowed)
+      sites.push_back(id);
+  return sites;
+}
+
+// Smallest k <= max_k such that some k-subset of `sites` (all hosting
+// `type`) makes `tree` noise-clean; nullopt when none does. Enumerates
+// combinations in increasing size, so the first hit is the minimum.
+std::optional<std::size_t> min_clean_count(
+    const rct::RoutingTree& tree, const std::vector<rct::NodeId>& sites,
+    lib::BufferId type, std::size_t max_k) {
+  const std::size_t n = sites.size();
+  max_k = std::min(max_k, n);
+  for (std::size_t k = 0; k <= max_k; ++k) {
+    // Classic lexicographic combination walk over index vectors.
+    std::vector<std::size_t> idx(k);
+    for (std::size_t i = 0; i < k; ++i) idx[i] = i;
+    for (;;) {
+      rct::BufferAssignment a;
+      for (std::size_t i : idx) a.place(sites[i], type);
+      if (noise::analyze(tree, a, kLib).clean()) return k;
+      // Advance to the next combination.
+      std::size_t pos = k;
+      while (pos > 0 && idx[pos - 1] == n - k + (pos - 1)) --pos;
+      if (pos == 0) break;
+      ++idx[pos - 1];
+      for (std::size_t i = pos; i < k; ++i) idx[i] = idx[i - 1] + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(Differential, Alg2MatchesExhaustiveOnRandomSmallTrees) {
+  util::Rng rng(20260806);
+  const lib::BufferId type = core::noise_buffer_choice(kLib);
+  int violating = 0, minimality_checked = 0, upper_checked = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const auto t = random_net(rng, rng.uniform_int(1, 6),
+                              rng.uniform(2500.0, 7000.0));
+    violating += noise::analyze_unbuffered(t).clean() ? 0 : 1;
+
+    const auto res = core::avoid_noise_multi_sink(t, kLib);
+
+    // Feasibility: judged by the exact analysis brute force uses.
+    EXPECT_TRUE(noise::analyze(res.tree, res.buffers, kLib).clean());
+
+    // Minimality: nothing smaller works, even restricted to the sites the
+    // algorithm itself materialized (its own placements included).
+    const auto own_sites = buffer_sites(res.tree);
+    if (res.buffer_count > 0 && own_sites.size() <= 20) {
+      EXPECT_EQ(min_clean_count(res.tree, own_sites, type,
+                                res.buffer_count - 1),
+                std::nullopt);
+      ++minimality_checked;
+    }
+
+    // Upper bound: continuous placement is at least as good as the best
+    // solution on a fixed 700 µm segmentation.
+    auto disc = t;
+    seg::segment(disc, {700.0});
+    const auto disc_sites = buffer_sites(disc);
+    if (disc_sites.size() <= 20) {
+      const auto best = min_clean_count(disc, disc_sites, type,
+                                        res.buffer_count + 4);
+      if (best) {
+        EXPECT_LE(res.buffer_count, *best);
+        ++upper_checked;
+      }
+    }
+  }
+  // The workload must genuinely exercise the algorithm and the checks.
+  EXPECT_GT(violating, 25);
+  EXPECT_GT(minimality_checked, 20);
+  EXPECT_GT(upper_checked, 30);
+}
+
+TEST(Differential, Alg2AgreesWithAlg1OnRandomPaths) {
+  // Single-sink trees are Algorithm 1's domain; the two optimal algorithms
+  // must agree on the minimal count, and both must be exhaustively
+  // unbeatable on Algorithm 1's own output sites.
+  util::Rng rng(424207);
+  const lib::BufferId type = core::noise_buffer_choice(kLib);
+  for (int trial = 0; trial < 12; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    auto t = test::long_two_pin(rng.uniform(3000.0, 11000.0),
+                                rng.uniform(80.0, 350.0));
+    const auto r1 = core::avoid_noise_single_sink(t, kLib);
+    const auto r2 = core::avoid_noise_multi_sink(t, kLib);
+    EXPECT_EQ(r1.buffer_count, r2.buffer_count);
+    const auto sites = buffer_sites(r1.tree);
+    if (r1.buffer_count > 0 && sites.size() <= 20)
+      EXPECT_EQ(min_clean_count(r1.tree, sites, type, r1.buffer_count - 1),
+                std::nullopt);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,366 @@
+// nbuf_cli — command-line front end for the buffer insertion library.
+//
+//   nbuf_cli <input.net> [options]
+//
+//   --mode M          analyze | buffopt (default) | delayopt | noise
+//                     analyze:  report noise and timing, insert nothing
+//                     buffopt:  Algorithm 3, fewest buffers meeting noise
+//                               and timing (Problem 3)
+//                     delayopt: delay-only Van Ginneken baseline
+//                     noise:    Algorithm 2, minimal buffers for noise only
+//                               (Problem 1)
+//   --max-buffers K   count cap for buffopt/delayopt (default 24)
+//   --segment UM      wire segmenting granularity in µm (default 500)
+//   --wire-sizing     enable simultaneous 1x/2x/4x wire sizing
+//   --golden          additionally run the transient golden noise analysis
+//   -o FILE           write the buffered net back out as a .net file
+//
+//   nbuf_cli batch (--dir DIR | --netgen N) [options]
+//
+//   Runs the buffopt/delayopt pipeline over a whole workload on a worker
+//   pool (see src/batch/batch.hpp; results are deterministic for any
+//   thread count) and prints throughput plus aggregate noise/timing tables.
+//
+//   --dir DIR         optimize every *.net file in DIR
+//   --netgen N        optimize N synthetic testbench nets instead
+//   --seed S          netgen seed (default 9851)
+//   --threads T       worker threads (default: hardware concurrency)
+//   --mode M          buffopt (default) | delayopt
+//   --max-buffers K   as above
+//   --segment UM      as above
+//   --stats           also print the aggregated VgStats counter block with
+//                     per-phase DP wall times
+//
+// Exit status: 0 when the requested optimization succeeded and the result
+// is noise-clean (batch: every net), 1 otherwise (including analyze mode
+// finding violations), 2 on usage or input errors.
+#include "cli_app.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "batch/batch.hpp"
+#include "core/alg2_multi_sink.hpp"
+#include "core/tool.hpp"
+#include "io/netfile.hpp"
+#include "sim/golden.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace nbuf::cli {
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+
+struct Args {
+  std::string input;
+  std::string output;
+  std::string mode = "buffopt";
+  std::size_t max_buffers = 24;
+  double segment = 500.0;
+  bool wire_sizing = false;
+  bool golden = false;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <input.net> [--mode analyze|buffopt|delayopt|"
+               "noise] [--max-buffers K] [--segment UM] [--wire-sizing] "
+               "[--golden] [-o out.net]\n"
+               "       %s batch (--dir DIR | --netgen N) [--seed S] "
+               "[--threads T] [--mode buffopt|delayopt] [--max-buffers K] "
+               "[--segment UM] [--stats]\n",
+               argv0, argv0);
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--mode") {
+      const char* v = value();
+      if (!v) return false;
+      args.mode = v;
+    } else if (a == "--max-buffers") {
+      const char* v = value();
+      if (!v) return false;
+      args.max_buffers = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--segment") {
+      const char* v = value();
+      if (!v) return false;
+      args.segment = std::stod(v);
+    } else if (a == "--wire-sizing") {
+      args.wire_sizing = true;
+    } else if (a == "--golden") {
+      args.golden = true;
+    } else if (a == "-o") {
+      const char* v = value();
+      if (!v) return false;
+      args.output = v;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return false;
+    } else if (args.input.empty()) {
+      args.input = a;
+    } else {
+      return false;
+    }
+  }
+  return !args.input.empty();
+}
+
+void print_noise(const char* label, const noise::NoiseReport& rep) {
+  std::printf("%-22s %zu violation(s), worst slack %+.3f V\n", label,
+              rep.violation_count, rep.worst_slack);
+}
+
+void print_timing(const char* label, const elmore::TimingReport& rep) {
+  std::printf("%-22s max delay %.1f ps, worst slack %+.1f ps\n", label,
+              rep.max_delay / ps, rep.worst_slack / ps);
+}
+
+struct BatchArgs {
+  std::string dir;
+  std::size_t netgen_count = 0;
+  std::uint64_t seed = 9851;
+  std::size_t threads = 0;
+  std::string mode = "buffopt";
+  std::size_t max_buffers = 24;
+  double segment = 500.0;
+  bool stats = false;
+};
+
+bool parse_batch_args(int argc, char** argv, BatchArgs& args) {
+  for (int i = 2; i < argc; ++i) {  // argv[1] == "batch"
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--dir") {
+      const char* v = value();
+      if (!v) return false;
+      args.dir = v;
+    } else if (a == "--netgen") {
+      const char* v = value();
+      if (!v) return false;
+      args.netgen_count = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--seed") {
+      const char* v = value();
+      if (!v) return false;
+      args.seed = std::stoull(v);
+    } else if (a == "--threads") {
+      const char* v = value();
+      if (!v) return false;
+      args.threads = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--mode") {
+      const char* v = value();
+      if (!v) return false;
+      args.mode = v;
+    } else if (a == "--max-buffers") {
+      const char* v = value();
+      if (!v) return false;
+      args.max_buffers = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--segment") {
+      const char* v = value();
+      if (!v) return false;
+      args.segment = std::stod(v);
+    } else if (a == "--stats") {
+      args.stats = true;
+    } else {
+      std::fprintf(stderr, "unknown batch option %s\n", a.c_str());
+      return false;
+    }
+  }
+  if (args.mode != "buffopt" && args.mode != "delayopt") return false;
+  // Exactly one workload source.
+  const bool have_dir = !args.dir.empty();
+  const bool have_gen = args.netgen_count > 0;
+  return have_dir != have_gen;
+}
+
+}  // namespace
+
+int batch_main(int argc, char** argv) {
+  BatchArgs args;
+  if (!parse_batch_args(argc, argv, args)) return usage(argv[0]);
+
+  const lib::BufferLibrary library = lib::default_library();
+  std::vector<batch::BatchNet> nets;
+  try {
+    if (!args.dir.empty()) {
+      nets = batch::load_directory(args.dir, library);
+    } else {
+      netgen::TestbenchOptions gen;
+      gen.net_count = args.netgen_count;
+      gen.seed = args.seed;
+      nets = batch::from_generated(netgen::generate_testbench(library, gen));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "batch workload: %s\n", e.what());
+    return 2;
+  }
+  if (nets.empty()) {
+    std::fprintf(stderr, "batch workload is empty\n");
+    return 2;
+  }
+
+  batch::BatchOptions opt;
+  opt.threads = args.threads;
+  opt.mode = args.mode == "buffopt" ? batch::BatchMode::BuffOpt
+                                    : batch::BatchMode::DelayOpt;
+  opt.max_buffers = args.max_buffers;
+  opt.tool.segmenting.max_segment_length = args.segment;
+  opt.collect_stats = args.stats;
+  const batch::BatchEngine engine(opt);
+
+  std::printf("batch: %zu nets, %zu thread(s), mode %s\n", nets.size(),
+              engine.thread_count(), args.mode.c_str());
+  const batch::BatchResult res = engine.run(nets, library);
+  const batch::BatchSummary& s = res.summary;
+  std::printf("throughput: %.1f nets/sec (wall %.3f s, dp %.3f s)\n",
+              s.nets_per_second(), s.wall_seconds, s.dp_seconds);
+
+  // Aggregate noise and timing tables over the whole workload.
+  double worst_noise_before = 0.0, worst_noise_after = 0.0;
+  double worst_slack_after = 0.0;
+  bool first = true;
+  for (const core::ToolResult& r : res.results) {
+    if (first) {
+      worst_noise_before = r.noise_before.worst_slack;
+      worst_noise_after = r.noise_after.worst_slack;
+      worst_slack_after = r.timing_after.worst_slack;
+      first = false;
+    } else {
+      worst_noise_before =
+          std::min(worst_noise_before, r.noise_before.worst_slack);
+      worst_noise_after =
+          std::min(worst_noise_after, r.noise_after.worst_slack);
+      worst_slack_after =
+          std::min(worst_slack_after, r.timing_after.worst_slack);
+    }
+  }
+  std::printf("%-22s clean %zu/%zu, worst slack %+.3f V\n",
+              "noise before:", s.noise_clean_before, s.net_count,
+              worst_noise_before);
+  std::printf("%-22s clean %zu/%zu, worst slack %+.3f V\n",
+              "noise after:", s.noise_clean_after, s.net_count,
+              worst_noise_after);
+  std::printf("%-22s met %zu/%zu, worst slack %+.1f ps\n",
+              "timing after:", s.timing_met, s.net_count,
+              worst_slack_after / ps);
+  std::printf("%-22s feasible %zu/%zu, %zu buffer(s) inserted\n",
+              "solutions:", s.feasible, s.net_count, s.buffers_inserted);
+  if (args.stats)
+    std::printf("vgstats: %s\n", util::format(s.stats).c_str());
+
+  const bool clean =
+      s.feasible == s.net_count && s.noise_clean_after == s.net_count;
+  return clean ? 0 : 1;
+}
+
+int cli_main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "batch") == 0)
+    return batch_main(argc, argv);
+
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  const lib::BufferLibrary library = lib::default_library();
+  io::NetFile net;
+  try {
+    net = io::read_net_file(args.input, library);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", args.input.c_str(), e.what());
+    return 2;
+  }
+  std::printf("net %s: %zu nodes, %zu sinks, %.2f mm, %.2f pF\n",
+              net.name.empty() ? args.input.c_str() : net.name.c_str(),
+              net.tree.node_count(), net.tree.sink_count(),
+              net.tree.total_wirelength() / mm, net.tree.total_cap() / pF);
+
+  const auto gopt = net.tech ? sim::golden_options_from(*net.tech)
+                             : sim::golden_options_from(
+                                   lib::default_technology());
+
+  rct::RoutingTree result_tree = net.tree;
+  rct::BufferAssignment result_buffers = net.buffers;
+  bool clean = false;
+
+  if (args.mode == "analyze") {
+    const auto nrep = noise::analyze(net.tree, net.buffers, library);
+    const auto trep = elmore::analyze(net.tree, net.buffers, library);
+    print_noise("devgan metric:", nrep);
+    print_timing("elmore timing:", trep);
+    clean = nrep.clean();
+  } else if (args.mode == "noise") {
+    auto binary = net.tree;
+    binary.binarize();
+    const auto res = core::avoid_noise_multi_sink(binary, library);
+    std::printf("algorithm 2: inserted %zu buffer(s)\n", res.buffer_count);
+    const auto nrep = noise::analyze(res.tree, res.buffers, library);
+    print_noise("devgan metric:", nrep);
+    result_tree = res.tree;
+    result_buffers = res.buffers;
+    clean = nrep.clean();
+  } else if (args.mode == "buffopt" || args.mode == "delayopt") {
+    core::ToolOptions opt;
+    opt.segmenting.max_segment_length = args.segment;
+    opt.vg.max_buffers = args.max_buffers;
+    if (args.wire_sizing) opt.vg.wire_widths = lib::default_wire_widths();
+    const core::ToolResult res =
+        args.mode == "buffopt"
+            ? core::run_buffopt(net.tree, library, opt)
+            : core::run_delayopt(net.tree, library, args.max_buffers, opt);
+    std::printf("%s: inserted %zu buffer(s)%s in %.1f ms\n",
+                args.mode.c_str(), res.vg.buffer_count,
+                res.vg.wire_widths.empty()
+                    ? ""
+                    : (", widened " +
+                       std::to_string(res.vg.wire_widths.size()) +
+                       " wire(s)")
+                          .c_str(),
+                res.optimize_seconds * 1e3);
+    for (const auto& [node, type] : res.vg.buffers.entries())
+      std::printf("  %-8s at node %u\n", library.at(type).name.c_str(),
+                  node.value());
+    print_noise("noise before:", res.noise_before);
+    print_noise("noise after:", res.noise_after);
+    print_timing("timing before:", res.timing_before);
+    print_timing("timing after:", res.timing_after);
+    result_tree = res.tree;
+    if (args.wire_sizing)
+      core::apply_wire_widths(result_tree, res.vg.wire_widths,
+                              opt.vg.wire_widths);
+    result_buffers = res.vg.buffers;
+    clean = res.vg.feasible && res.noise_after.clean();
+  } else {
+    return usage(argv[0]);
+  }
+
+  if (args.golden) {
+    const auto grep =
+        sim::golden_analyze(result_tree, result_buffers, library, gopt);
+    std::printf("%-22s %zu violation(s), worst slack %+.3f V\n",
+                "golden transient:", grep.violation_count,
+                grep.worst_slack);
+    clean = clean && grep.clean();
+  }
+
+  if (!args.output.empty()) {
+    io::write_net_file(args.output, net.name, result_tree, result_buffers,
+                       library);
+    std::printf("wrote %s\n", args.output.c_str());
+  }
+  return clean ? 0 : 1;
+}
+
+}  // namespace nbuf::cli

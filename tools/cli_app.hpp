@@ -1,0 +1,21 @@
+// The nbuf_cli program logic, exposed as a callable so tests/test_tools can
+// drive the exact code paths of the binary in-process.
+//
+//   nbuf_cli <input.net> [options]          single-net mode (see cli_app.cpp)
+//   nbuf_cli batch (--dir D | --netgen N) [options]   parallel batch mode
+//
+// Returns the process exit status: 0 on success with a clean result, 1 when
+// the optimization left violations (or, in batch mode, any net infeasible or
+// noisy), 2 on usage/input errors.
+#pragma once
+
+namespace nbuf::cli {
+
+// Exactly main()'s contract; argv[0] is the program name.
+int cli_main(int argc, char** argv);
+
+// The `batch` subcommand, with argv[1] == "batch" already consumed by
+// cli_main (exposed separately for tests).
+int batch_main(int argc, char** argv);
+
+}  // namespace nbuf::cli

@@ -1,196 +1,5 @@
-// nbuf_cli — command-line front end for the buffer insertion library.
-//
-//   nbuf_cli <input.net> [options]
-//
-//   --mode M          analyze | buffopt (default) | delayopt | noise
-//                     analyze:  report noise and timing, insert nothing
-//                     buffopt:  Algorithm 3, fewest buffers meeting noise
-//                               and timing (Problem 3)
-//                     delayopt: delay-only Van Ginneken baseline
-//                     noise:    Algorithm 2, minimal buffers for noise only
-//                               (Problem 1)
-//   --max-buffers K   count cap for buffopt/delayopt (default 24)
-//   --segment UM      wire segmenting granularity in µm (default 500)
-//   --wire-sizing     enable simultaneous 1x/2x/4x wire sizing
-//   --golden          additionally run the transient golden noise analysis
-//   -o FILE           write the buffered net back out as a .net file
-//
-// Exit status: 0 when the requested optimization succeeded and the result
-// is noise-clean, 1 otherwise (including analyze mode finding violations).
-#include <cstdio>
-#include <cstring>
-#include <string>
+// Thin entry point; the program logic lives in cli_app.cpp so the test
+// suite (tests/test_tools.cpp) can drive the same code paths in-process.
+#include "cli_app.hpp"
 
-#include "core/alg2_multi_sink.hpp"
-#include "core/tool.hpp"
-#include "io/netfile.hpp"
-#include "sim/golden.hpp"
-#include "util/table.hpp"
-#include "util/units.hpp"
-
-namespace {
-
-using namespace nbuf;
-using namespace nbuf::units;
-
-struct Args {
-  std::string input;
-  std::string output;
-  std::string mode = "buffopt";
-  std::size_t max_buffers = 24;
-  double segment = 500.0;
-  bool wire_sizing = false;
-  bool golden = false;
-};
-
-int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s <input.net> [--mode analyze|buffopt|delayopt|"
-               "noise] [--max-buffers K] [--segment UM] [--wire-sizing] "
-               "[--golden] [-o out.net]\n",
-               argv0);
-  return 2;
-}
-
-bool parse_args(int argc, char** argv, Args& args) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    auto value = [&]() -> const char* {
-      return (i + 1 < argc) ? argv[++i] : nullptr;
-    };
-    if (a == "--mode") {
-      const char* v = value();
-      if (!v) return false;
-      args.mode = v;
-    } else if (a == "--max-buffers") {
-      const char* v = value();
-      if (!v) return false;
-      args.max_buffers = static_cast<std::size_t>(std::stoul(v));
-    } else if (a == "--segment") {
-      const char* v = value();
-      if (!v) return false;
-      args.segment = std::stod(v);
-    } else if (a == "--wire-sizing") {
-      args.wire_sizing = true;
-    } else if (a == "--golden") {
-      args.golden = true;
-    } else if (a == "-o") {
-      const char* v = value();
-      if (!v) return false;
-      args.output = v;
-    } else if (!a.empty() && a[0] == '-') {
-      std::fprintf(stderr, "unknown option %s\n", a.c_str());
-      return false;
-    } else if (args.input.empty()) {
-      args.input = a;
-    } else {
-      return false;
-    }
-  }
-  return !args.input.empty();
-}
-
-void print_noise(const char* label, const noise::NoiseReport& rep) {
-  std::printf("%-22s %zu violation(s), worst slack %+.3f V\n", label,
-              rep.violation_count, rep.worst_slack);
-}
-
-void print_timing(const char* label, const elmore::TimingReport& rep) {
-  std::printf("%-22s max delay %.1f ps, worst slack %+.1f ps\n", label,
-              rep.max_delay / ps, rep.worst_slack / ps);
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  if (!parse_args(argc, argv, args)) return usage(argv[0]);
-
-  const lib::BufferLibrary library = lib::default_library();
-  io::NetFile net;
-  try {
-    net = io::read_net_file(args.input, library);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s: %s\n", args.input.c_str(), e.what());
-    return 2;
-  }
-  std::printf("net %s: %zu nodes, %zu sinks, %.2f mm, %.2f pF\n",
-              net.name.empty() ? args.input.c_str() : net.name.c_str(),
-              net.tree.node_count(), net.tree.sink_count(),
-              net.tree.total_wirelength() / mm, net.tree.total_cap() / pF);
-
-  const auto gopt = net.tech ? sim::golden_options_from(*net.tech)
-                             : sim::golden_options_from(
-                                   lib::default_technology());
-
-  rct::RoutingTree result_tree = net.tree;
-  rct::BufferAssignment result_buffers = net.buffers;
-  bool clean = false;
-
-  if (args.mode == "analyze") {
-    const auto nrep = noise::analyze(net.tree, net.buffers, library);
-    const auto trep = elmore::analyze(net.tree, net.buffers, library);
-    print_noise("devgan metric:", nrep);
-    print_timing("elmore timing:", trep);
-    clean = nrep.clean();
-  } else if (args.mode == "noise") {
-    auto binary = net.tree;
-    binary.binarize();
-    const auto res = core::avoid_noise_multi_sink(binary, library);
-    std::printf("algorithm 2: inserted %zu buffer(s)\n", res.buffer_count);
-    const auto nrep = noise::analyze(res.tree, res.buffers, library);
-    print_noise("devgan metric:", nrep);
-    result_tree = res.tree;
-    result_buffers = res.buffers;
-    clean = nrep.clean();
-  } else if (args.mode == "buffopt" || args.mode == "delayopt") {
-    core::ToolOptions opt;
-    opt.segmenting.max_segment_length = args.segment;
-    opt.vg.max_buffers = args.max_buffers;
-    if (args.wire_sizing) opt.vg.wire_widths = lib::default_wire_widths();
-    const core::ToolResult res =
-        args.mode == "buffopt"
-            ? core::run_buffopt(net.tree, library, opt)
-            : core::run_delayopt(net.tree, library, args.max_buffers, opt);
-    std::printf("%s: inserted %zu buffer(s)%s in %.1f ms\n",
-                args.mode.c_str(), res.vg.buffer_count,
-                res.vg.wire_widths.empty()
-                    ? ""
-                    : (", widened " +
-                       std::to_string(res.vg.wire_widths.size()) +
-                       " wire(s)")
-                          .c_str(),
-                res.optimize_seconds * 1e3);
-    for (const auto& [node, type] : res.vg.buffers.entries())
-      std::printf("  %-8s at node %u\n", library.at(type).name.c_str(),
-                  node.value());
-    print_noise("noise before:", res.noise_before);
-    print_noise("noise after:", res.noise_after);
-    print_timing("timing before:", res.timing_before);
-    print_timing("timing after:", res.timing_after);
-    result_tree = res.tree;
-    if (args.wire_sizing)
-      core::apply_wire_widths(result_tree, res.vg.wire_widths,
-                              opt.vg.wire_widths);
-    result_buffers = res.vg.buffers;
-    clean = res.vg.feasible && res.noise_after.clean();
-  } else {
-    return usage(argv[0]);
-  }
-
-  if (args.golden) {
-    const auto grep =
-        sim::golden_analyze(result_tree, result_buffers, library, gopt);
-    std::printf("%-22s %zu violation(s), worst slack %+.3f V\n",
-                "golden transient:", grep.violation_count,
-                grep.worst_slack);
-    clean = clean && grep.clean();
-  }
-
-  if (!args.output.empty()) {
-    io::write_net_file(args.output, net.name, result_tree, result_buffers,
-                       library);
-    std::printf("wrote %s\n", args.output.c_str());
-  }
-  return clean ? 0 : 1;
-}
+int main(int argc, char** argv) { return nbuf::cli::cli_main(argc, argv); }
