@@ -17,13 +17,18 @@ using detail::kTopGapFrac;
 // practice (forks are rare), so pairwise comparison is fine; sorting keeps
 // the output ordered by current for the linear merge.
 void prune(std::vector<ClimbState>& cands) {
-  std::sort(cands.begin(), cands.end(),
-            [](const ClimbState& a, const ClimbState& b) {
-              if (a.current != b.current) return a.current < b.current;
-              if (a.noise_slack != b.noise_slack)
-                return a.noise_slack > b.noise_slack;
-              return a.buffers < b.buffers;
-            });
+  const auto less = [](const ClimbState& a, const ClimbState& b) {
+    if (a.current != b.current) return a.current < b.current;
+    if (a.noise_slack != b.noise_slack)
+      return a.noise_slack > b.noise_slack;
+    return a.buffers < b.buffers;
+  };
+  // Climbing a wire preserves the current order (the same charge is added
+  // to every candidate), so lists usually arrive sorted; checking first
+  // turns the common case into a linear scan (same trick as the Van
+  // Ginneken fast kernel).
+  if (!std::is_sorted(cands.begin(), cands.end(), less))
+    std::sort(cands.begin(), cands.end(), less);
   std::vector<ClimbState> kept;
   for (const ClimbState& c : cands) {
     const bool dominated = std::any_of(

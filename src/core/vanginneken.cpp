@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <chrono>
 #include <limits>
 
+#include "core/vg_kernel.hpp"
 #include "elmore/slew.hpp"
 #include "util/check.hpp"
 
@@ -12,45 +12,15 @@ namespace nbuf::core {
 
 namespace {
 
-// Accumulates wall time into `*sink` on destruction; no-op when `sink` is
-// null (stats collection off), so the default path never reads the clock.
-class PhaseTimer {
- public:
-  explicit PhaseTimer(double* sink) : sink_(sink) {
-    if (sink_) start_ = std::chrono::steady_clock::now();
-  }
-  ~PhaseTimer() {
-    if (sink_)
-      *sink_ += std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start_)
-                    .count();
-  }
-  PhaseTimer(const PhaseTimer&) = delete;
-  PhaseTimer& operator=(const PhaseTimer&) = delete;
+using detail::CandList;
+using detail::NodeLists;
+using detail::PhaseTimer;
+using detail::VgCand;
 
- private:
-  double* sink_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-struct VgCand {
-  double load = 0.0;         // C — downstream capacitance
-  double slack = 0.0;        // q — timing slack
-  double current = 0.0;      // I — downstream coupling current
-  double noise_slack = 0.0;  // NS
-  double dhat = 0.0;         // max wire Elmore delay from here to any leaf
-                             // of the current stage (for slew checks)
-  const PlanCell* plan = nullptr;
-};
-
-using CandList = std::vector<VgCand>;
-
-// Candidate lists of one node: [phase][buffer count]. phase 0 = signal at
-// this node must be in the source's polarity, phase 1 = inverted.
-struct NodeLists {
-  std::array<std::vector<CandList>, 2> by_phase;
-};
-
+// The reference (seed) kernel: re-sorts every candidate list on every prune
+// and snapshots the full NodeLists at each buffer-insertion node. Kept as
+// the bit-identity oracle for the fast kernel (tests/test_vg_kernel) and as
+// the A/B baseline of bench/figI_kernel_speedup.
 class VgRun {
  public:
   VgRun(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
@@ -80,15 +50,14 @@ class VgRun {
 // Pareto pruning on (load, slack) only — paper Step 7; with noise enabled,
 // dead candidates (NS < 0: no future gate can drive them) are removed first.
 void VgRun::prune(CandList& list) {
+  ++stats_.prune_calls;
+  ++stats_.prune_sorts;  // this kernel always sorts
   if (opt_.noise_constraints) {
     const std::size_t before = list.size();
     std::erase_if(list, [](const VgCand& c) { return c.noise_slack < 0.0; });
     stats_.pruned_infeasible += before - list.size();
   }
-  std::sort(list.begin(), list.end(), [](const VgCand& a, const VgCand& b) {
-    if (a.load != b.load) return a.load < b.load;
-    return a.slack > b.slack;
-  });
+  std::sort(list.begin(), list.end(), detail::cand_less);
   if (opt_.prune_candidates) {
     CandList kept;
     double best_slack = -std::numeric_limits<double>::infinity();
@@ -292,14 +261,22 @@ NodeLists VgRun::process(rct::NodeId v) {
 }
 
 VgResult VgRun::run() {
-  NodeLists at_source = process(tree_.source());
+  const NodeLists at_source = process(tree_.source());
+  return detail::finalize(at_source, tree_, opt_, stats_);
+}
 
-  const rct::Driver& drv = tree_.driver();
+}  // namespace
+
+namespace detail {
+
+VgResult finalize(const NodeLists& at_source, const rct::RoutingTree& tree,
+                  const VgOptions& opt, const util::VgStats& stats) {
+  const rct::Driver& drv = tree.driver();
   VgResult result;
 
   // Fold in the driver (Fig. 10 Steps 2-4); only source-polarity candidates
   // are electrically valid solutions.
-  for (std::size_t k = 0; k <= opt_.max_buffers; ++k) {
+  for (std::size_t k = 0; k <= opt.max_buffers; ++k) {
     const CandList& list = at_source.by_phase[0][k];
     if (list.empty()) continue;
     CountBest best;
@@ -310,10 +287,10 @@ VgResult VgRun::run() {
           c.slack - drv.intrinsic_delay - drv.resistance * c.load;
       const double driver_noise = drv.resistance * c.current;
       const bool noise_ok =
-          !opt_.noise_constraints || driver_noise <= c.noise_slack;
-      if (opt_.noise_constraints && !noise_ok) continue;
+          !opt.noise_constraints || driver_noise <= c.noise_slack;
+      if (opt.noise_constraints && !noise_ok) continue;
       if (elmore::kSlewFactor * (drv.resistance * c.load + c.dhat) >
-          opt_.max_slew)
+          opt.max_slew)
         continue;  // driver's stage violates the slew limit
       if (!found || q > best.slack) {
         best.slack = q;
@@ -327,10 +304,10 @@ VgResult VgRun::run() {
     if (found) result.per_count.push_back(std::move(best));
   }
 
-  result.stats = stats_;
-  result.candidates_created = stats_.candidates_generated;
-  result.max_list_size = stats_.peak_list_size;
-  result.candidates_noise_pruned = stats_.pruned_infeasible;
+  result.stats = stats;
+  result.candidates_created = stats.candidates_generated;
+  result.max_list_size = stats.peak_list_size;
+  result.candidates_noise_pruned = stats.pruned_infeasible;
 
   if (result.per_count.empty()) {
     // No candidate satisfies the noise constraints at any count (possible
@@ -342,7 +319,7 @@ VgResult VgRun::run() {
   }
 
   const CountBest* chosen = nullptr;
-  if (opt_.objective == VgObjective::MinBuffersMeetingConstraints) {
+  if (opt.objective == VgObjective::MinBuffersMeetingConstraints) {
     for (const CountBest& cb : result.per_count) {
       if (cb.slack >= 0.0) {
         chosen = &cb;
@@ -367,7 +344,7 @@ VgResult VgRun::run() {
   return result;
 }
 
-}  // namespace
+}  // namespace detail
 
 VgResult optimize(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
                   const VgOptions& options) {
@@ -379,8 +356,11 @@ VgResult optimize(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
                      "buffer_costs must have one entry per library type");
     for (std::size_t c : options.buffer_costs) NBUF_EXPECTS(c >= 1);
   }
-  VgRun run(tree, lib, options);
-  return run.run();
+  if (options.kernel == VgKernel::Reference) {
+    VgRun run(tree, lib, options);
+    return run.run();
+  }
+  return detail::run_fast_kernel(tree, lib, options);
 }
 
 rct::BufferAssignment assignment_for(const std::vector<PlannedBuffer>& plan) {

@@ -38,6 +38,24 @@ enum class VgObjective {
   MinBuffersMeetingConstraints,
 };
 
+// Which DP inner-loop implementation runs. Both produce bit-identical
+// VgResults (same pruning semantics, same tie-break order); the fast kernel
+// is the default and the reference kernel is retained as the differential-
+// test oracle (tests/test_vg_kernel) and for A/B timing (bench/figI).
+enum class VgKernel {
+  // Li & Shi-style kernel: candidate lists keep the (load asc, slack desc)
+  // sort invariant across wire extension, merge, and buffer insertion, so
+  // pruning is one linear scan (std::sort only runs when the invariant is
+  // genuinely broken, i.e. the wire-sizing fork path); unsized wire
+  // extension is recorded as a per-node lazy offset and materialized fused
+  // with the next prune; buffer insertion reads per-bucket views instead of
+  // deep-copying the lists; candidate-list buffers are pooled per run.
+  Fast,
+  // The original seed implementation: re-sorts every list on every prune
+  // and snapshots all lists at each buffer-insertion node.
+  Reference,
+};
+
 struct VgOptions {
   bool noise_constraints = true;   // true = BuffOpt, false = DelayOpt
   std::size_t max_buffers = 24;    // k cap for the count-indexed lists
@@ -67,6 +85,12 @@ struct VgOptions {
   // Additionally measure per-phase wall time into VgResult::stats (the
   // counters in there are always exact; only the clock reads are opt-in).
   bool collect_stats = false;
+  // DP inner-loop implementation; results are identical either way.
+  VgKernel kernel = VgKernel::Fast;
+  // Debug: the fast kernel re-verifies the sort/Pareto invariant of every
+  // candidate list after each DP step and throws on violation. O(k) per
+  // step — test-only (tests/test_vg_kernel property test).
+  bool check_invariants = false;
 };
 
 // The best solution of exactly this total cost (= buffer count when no

@@ -1,0 +1,463 @@
+// The fast Van Ginneken kernel (default; see VgKernel::Fast).
+//
+// Three structural observations make the seed kernel's per-prune std::sort,
+// per-candidate wire updates, and per-node deep copies unnecessary:
+//
+//  1. Sort invariant. Every prune leaves its list sorted by (load asc,
+//     slack desc) and — with dominance pruning on — strictly ascending in
+//     both load and slack (a Pareto staircase). An unsized wire extension
+//     maps every candidate with the same monotone affine update, so the
+//     sorted order survives; the Van Ginneken two-list merge emits loads in
+//     ascending order by construction; and buffer insertion appends a small
+//     sorted tail that one stable merge pass folds back in. Pruning is
+//     therefore a single linear scan (dead-candidate removal, dominance
+//     filter, and compaction fused); std::sort runs only when the order is
+//     genuinely broken — the wire-sizing fork path, where one candidate
+//     forks into one variant per width (Li & Shi, PAPERS.md).
+//
+//  2. Lazy wire offsets. An unsized wire extension is the same affine map
+//     for every candidate of every one of the 2*(max_buffers+1) lists of a
+//     node. extend_wire records the wire in O(1) per node; the update is
+//     materialized ("flushed") fused into the very next prune scan — the
+//     same arithmetic expressions in the same order as the eager kernel, so
+//     results stay bit-identical, but the separate write pass and the sort
+//     disappear.
+//
+//  3. Read views instead of snapshots. Buffer insertion must read only
+//     pre-insertion candidates (one buffer per node). The seed deep-copies
+//     all lists; since insertions only ever append, remembering each
+//     bucket's pre-insertion size and scanning that prefix is equivalent
+//     and copies nothing.
+//
+// Candidate-list buffers are recycled through a per-run core::VectorPool
+// next to the PlanArena, so steady-state DP makes no allocator calls.
+//
+// Bit-identity with the reference kernel (same pruning decisions, same
+// tie-break order, same legacy VgStats counters) is pinned by
+// tests/test_vg_kernel.cpp; the speedup is measured by
+// bench/figI_kernel_speedup.
+#include <algorithm>
+#include <iterator>
+#include <limits>
+
+#include "core/vg_kernel.hpp"
+#include "elmore/slew.hpp"
+#include "util/check.hpp"
+
+namespace nbuf::core::detail {
+
+namespace {
+
+class FastVgRun {
+ public:
+  FastVgRun(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
+            const VgOptions& opt)
+      : tree_(tree),
+        lib_(lib),
+        opt_(opt),
+        sizing_(!opt.wire_widths.empty()) {
+    for (auto& sizes : view_sizes_) sizes.resize(opt_.max_buffers + 1, 0);
+  }
+
+  VgResult run();
+
+ private:
+  // Node state: materialized candidate lists plus the wires whose affine
+  // update has been recorded but not yet applied (in root-ward order).
+  struct Lists {
+    NodeLists node;
+    std::vector<const rct::Wire*> pending;
+  };
+
+  Lists process(rct::NodeId v);
+  void flush(Lists& lists);
+  void extend_wire(Lists& lists, rct::NodeId child);
+  void insert_buffers(Lists& lists, rct::NodeId v);
+  Lists merge(Lists l, Lists r);
+
+  void apply_wire_and_prune(CandList& list, const rct::Wire& w);
+  void prune(CandList& list, bool known_sorted);
+  void merge_runs(CandList& list);
+  void merge_tail_and_prune(CandList& list, std::size_t prefix);
+  void verify_invariants(const CandList& list) const;
+  void release_lists(Lists& lists);
+
+  void note_created(std::size_t n) { stats_.candidates_generated += n; }
+  [[nodiscard]] double* timed(double util::VgStats::*field) {
+    return opt_.collect_stats ? &(stats_.*field) : nullptr;
+  }
+
+  const rct::RoutingTree& tree_;
+  const lib::BufferLibrary& lib_;
+  const VgOptions& opt_;
+  const bool sizing_;
+  PlanArena arena_;
+  VectorPool<VgCand> pool_;
+  CandList scratch_;                      // merge_runs / merge_tail scratch
+  std::vector<std::size_t> run_bounds_;   // sorted-run starts in merge()
+  // Pre-insertion bucket sizes of the node currently in insert_buffers:
+  // the read views that replace the seed kernel's NodeLists deep copy.
+  std::array<std::vector<std::size_t>, 2> view_sizes_;
+  util::VgStats stats_;
+};
+
+// Pareto pruning on (load, slack) only — paper Step 7 — with dead-candidate
+// removal (NS < 0) fused into the same compaction scan. `known_sorted`
+// callers maintained the sort invariant, so no sort runs.
+void FastVgRun::prune(CandList& list, bool known_sorted) {
+  ++stats_.prune_calls;
+  if (known_sorted) {
+    ++stats_.prune_sorts_skipped;
+  } else {
+    std::sort(list.begin(), list.end(), cand_less);
+    ++stats_.prune_sorts;
+  }
+  const bool noise = opt_.noise_constraints;
+  const bool pareto = opt_.prune_candidates;
+  std::size_t out = 0;
+  double best_slack = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const VgCand& c = list[i];
+    if (noise && c.noise_slack < 0.0) {
+      ++stats_.pruned_infeasible;
+      continue;  // dead: no future gate can drive this candidate
+    }
+    if (pareto) {
+      if (c.slack <= best_slack) {
+        ++stats_.pruned_inferior;  // inferior: >= load, <= slack
+        continue;
+      }
+      best_slack = c.slack;
+    }
+    if (out != i) list[out] = c;
+    ++out;
+  }
+  list.resize(out);
+  stats_.peak_list_size = std::max(stats_.peak_list_size, list.size());
+  if (opt_.check_invariants) verify_invariants(list);
+}
+
+// Collapses a concatenation of sorted runs (starts in run_bounds_) into one
+// sorted list by cascaded pairwise merges — O(n log runs), no sort. Ties
+// resolve to the earlier run, i.e. the smaller left-bucket index.
+void FastVgRun::merge_runs(CandList& list) {
+  while (run_bounds_.size() > 1) {
+    scratch_.clear();
+    scratch_.reserve(list.size());
+    std::size_t w = 0;  // rewrite run starts in place for the next sweep
+    for (std::size_t r = 0; r < run_bounds_.size(); r += 2) {
+      const auto lo = static_cast<std::ptrdiff_t>(run_bounds_[r]);
+      const auto mid = static_cast<std::ptrdiff_t>(
+          r + 1 < run_bounds_.size() ? run_bounds_[r + 1] : list.size());
+      const auto hi = static_cast<std::ptrdiff_t>(
+          r + 2 < run_bounds_.size() ? run_bounds_[r + 2] : list.size());
+      run_bounds_[w++] = scratch_.size();
+      std::merge(list.begin() + lo, list.begin() + mid, list.begin() + mid,
+                 list.begin() + hi, std::back_inserter(scratch_), cand_less);
+    }
+    run_bounds_.resize(w);
+    list.swap(scratch_);
+  }
+}
+
+// Materializes one lazy wire offset: the exact per-candidate expressions of
+// the reference kernel, with the sort-invariant check riding along (the map
+// preserves load order; a violation is only possible through floating-point
+// rounding collisions, and then the prune falls back to sorting).
+void FastVgRun::apply_wire_and_prune(CandList& list, const rct::Wire& w) {
+  ++stats_.offset_flushes;
+  bool sorted = true;
+  const VgCand* prev = nullptr;
+  for (VgCand& c : list) {
+    const double wire_delay = w.resistance * (w.capacitance / 2.0 + c.load);
+    c.slack -= wire_delay;
+    c.dhat += wire_delay;
+    c.load += w.capacitance;
+    c.noise_slack -= w.resistance * (w.coupling_current / 2.0 + c.current);
+    c.current += w.coupling_current;
+    if (prev != nullptr && cand_less(c, *prev)) sorted = false;
+    prev = &c;
+  }
+  prune(list, sorted);
+}
+
+// Applies every pending wire, oldest first, pruning after each exactly as
+// the reference kernel prunes after each extend_wire (under noise
+// constraints the intermediate prunes are semantically load-bearing: a
+// dominated candidate may only be discarded while its dominator is alive).
+void FastVgRun::flush(Lists& lists) {
+  if (lists.pending.empty()) return;
+  const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
+  for (const rct::Wire* w : lists.pending) {
+    for (auto& phase_lists : lists.node.by_phase) {
+      for (CandList& list : phase_lists) {
+        if (list.empty()) continue;
+        apply_wire_and_prune(list, *w);
+      }
+    }
+  }
+  lists.pending.clear();
+}
+
+void FastVgRun::extend_wire(Lists& lists, rct::NodeId child) {
+  const rct::Wire& w = tree_.node(child).parent_wire;
+  if (w.length <= 0.0 && w.resistance <= 0.0 && w.capacitance <= 0.0)
+    return;  // binarization dummy
+  if (!sizing_) {
+    // Lazy: O(1) per node. Materialized fused with the next prune.
+    lists.pending.push_back(&w);
+    return;
+  }
+  // Simultaneous wire sizing: every candidate forks into one variant per
+  // width (Lillis). The fork interleaves loads, so this is the one path
+  // where the sort invariant genuinely breaks and prune must sort.
+  NBUF_ASSERT(lists.pending.empty());
+  const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
+  for (auto& phase_lists : lists.node.by_phase) {
+    for (CandList& list : phase_lists) {
+      if (list.empty()) continue;
+      CandList expanded = pool_.acquire();
+      expanded.reserve(list.size() * opt_.wire_widths.size());
+      for (const VgCand& c : list) {
+        for (std::size_t wi = 0; wi < opt_.wire_widths.size(); ++wi) {
+          const lib::WireWidth& ww = opt_.wire_widths.at(wi);
+          const double res = w.resistance * ww.res_scale;
+          const double cap = w.capacitance * ww.cap_scale;
+          const double cur = w.coupling_current * ww.coupling_scale;
+          VgCand v = c;
+          const double wire_delay = res * (cap / 2.0 + v.load);
+          v.slack -= wire_delay;
+          v.dhat += wire_delay;
+          v.load += cap;
+          v.noise_slack -= res * (cur / 2.0 + v.current);
+          v.current += cur;
+          if (wi != 0) v.plan = arena_.wire(v.plan, PlannedWire{child, wi});
+          expanded.push_back(v);
+          note_created(1);
+        }
+      }
+      pool_.release(std::move(list));
+      list = std::move(expanded);
+      prune(list, /*known_sorted=*/false);
+    }
+  }
+}
+
+// Folds the freshly appended buffer candidates (a small sorted tail) back
+// into the sorted prefix with one stable merge — the appended tail is the
+// only part that is out of order, so no full sort is needed.
+void FastVgRun::merge_tail_and_prune(CandList& list, std::size_t prefix) {
+  const auto tail = list.begin() + static_cast<std::ptrdiff_t>(prefix);
+  std::sort(tail, list.end(), cand_less);
+  scratch_.clear();
+  scratch_.reserve(list.size());
+  std::merge(list.begin(), tail, tail, list.end(),
+             std::back_inserter(scratch_), cand_less);
+  list.swap(scratch_);
+  prune(list, /*known_sorted=*/true);
+}
+
+void FastVgRun::insert_buffers(Lists& lists, rct::NodeId v) {
+  flush(lists);
+  const PhaseTimer timer(timed(&util::VgStats::buffer_seconds));
+  // Read views: every type considers only unbuffered-at-v candidates,
+  // enforcing one buffer per node (Step 5). Appends only ever push beyond
+  // each bucket's pre-insertion size, so scanning that prefix reads exactly
+  // what the seed kernel's full NodeLists snapshot held — without the copy.
+  for (int phase = 0; phase < 2; ++phase) {
+    for (std::size_t k = 0; k <= opt_.max_buffers; ++k) {
+      const std::size_t n = lists.node.by_phase[phase][k].size();
+      view_sizes_[phase][k] = n;
+      stats_.snapshot_cands_avoided += n;
+    }
+  }
+  const std::size_t bucket_count = opt_.max_buffers + 1;
+  for (lib::BufferId bid : lib_.ids()) {
+    const lib::BufferType& b = lib_.at(bid);
+    // Cost of inserting this type (Lillis power-function generalization;
+    // defaults to 1 = plain counting).
+    const std::size_t cost =
+        opt_.buffer_costs.empty() ? 1 : opt_.buffer_costs[bid.value()];
+    for (int in_phase = 0; in_phase < 2; ++in_phase) {
+      const int out_phase = b.inverting ? 1 - in_phase : in_phase;
+      const auto& buckets = lists.node.by_phase[in_phase];
+      for (std::size_t k = 0; k + cost < bucket_count; ++k) {
+        // Best resulting slack over the count-k view (Fig. 11 Step 5).
+        const CandList& view = buckets[k];
+        const std::size_t view_n = view_sizes_[in_phase][k];
+        const VgCand* best = nullptr;
+        double best_q = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < view_n; ++i) {
+          const VgCand& c = view[i];
+          if (opt_.noise_constraints &&
+              b.resistance * c.current > c.noise_slack)
+            continue;  // would violate noise: never create this candidate
+          if (elmore::kSlewFactor * (b.resistance * c.load + c.dhat) >
+              opt_.max_slew)
+            continue;  // the buffer's stage would see too slow an edge
+          const double q =
+              c.slack - b.intrinsic_delay - b.resistance * c.load;
+          if (q > best_q) {
+            best_q = q;
+            best = &c;
+          }
+        }
+        if (best == nullptr) continue;
+        VgCand nc;
+        nc.load = b.input_cap;
+        nc.slack = best_q;
+        nc.current = 0.0;
+        nc.noise_slack = b.noise_margin;
+        nc.dhat = 0.0;  // restoring gate: a fresh stage begins
+        nc.plan = arena_.buffer(best->plan, PlannedBuffer{v, 0.0, bid});
+        lists.node.by_phase[out_phase][k + cost].push_back(nc);
+        note_created(1);
+      }
+    }
+  }
+  for (int phase = 0; phase < 2; ++phase) {
+    for (std::size_t k = 0; k < bucket_count; ++k) {
+      CandList& list = lists.node.by_phase[phase][k];
+      const std::size_t prefix = view_sizes_[phase][k];
+      if (list.size() == prefix) continue;  // untouched: still Pareto-sorted
+      merge_tail_and_prune(list, prefix);
+    }
+  }
+}
+
+void FastVgRun::release_lists(Lists& lists) {
+  for (auto& phase_lists : lists.node.by_phase)
+    for (CandList& list : phase_lists) pool_.release(std::move(list));
+}
+
+FastVgRun::Lists FastVgRun::merge(Lists l, Lists r) {
+  flush(l);
+  flush(r);
+  const PhaseTimer timer(timed(&util::VgStats::merge_seconds));
+  const std::size_t kmax = opt_.max_buffers;
+  Lists out;
+  for (auto& pl : out.node.by_phase) pl.resize(kmax + 1);
+  // Output-bucket-major so all (kl, kr) contributions to one bucket are
+  // consecutive: each contribution is one sorted run (the Van Ginneken
+  // linear merge emits loads in ascending order), and the runs fold back
+  // into one sorted list without a sort.
+  for (int phase = 0; phase < 2; ++phase) {
+    for (std::size_t ks = 0; ks <= kmax; ++ks) {
+      CandList& dst = out.node.by_phase[phase][ks];
+      run_bounds_.clear();
+      for (std::size_t kl = 0; kl <= ks; ++kl) {
+        const CandList& a = l.node.by_phase[phase][kl];
+        if (a.empty()) continue;
+        const CandList& b = r.node.by_phase[phase][ks - kl];
+        if (b.empty()) continue;
+        if (dst.capacity() == 0) dst = pool_.acquire();
+        run_bounds_.push_back(dst.size());
+        // Van Ginneken linear merge: lists are sorted by load and slack
+        // ascending; the side whose slack binds advances.
+        std::size_t i = 0, j = 0;
+        while (i < a.size() && j < b.size()) {
+          VgCand m;
+          m.load = a[i].load + b[j].load;
+          m.slack = std::min(a[i].slack, b[j].slack);
+          m.current = a[i].current + b[j].current;
+          m.noise_slack = std::min(a[i].noise_slack, b[j].noise_slack);
+          m.dhat = std::max(a[i].dhat, b[j].dhat);
+          m.plan = arena_.merge(a[i].plan, b[j].plan);
+          dst.push_back(m);
+          note_created(1);
+          ++stats_.merged;
+          if (a[i].slack < b[j].slack) {
+            ++i;
+          } else if (b[j].slack < a[i].slack) {
+            ++j;
+          } else {
+            ++i;
+            ++j;
+          }
+        }
+      }
+      if (dst.empty()) continue;
+      merge_runs(dst);
+      // The runs are sorted by construction up to floating-point rounding
+      // collisions (an equal-load pair inside a run arrives slack-ascending,
+      // the reverse of the prune order); verify instead of assuming so the
+      // rare collision falls back to the sorting path bit-identically.
+      prune(dst, std::is_sorted(dst.begin(), dst.end(), cand_less));
+    }
+  }
+  release_lists(l);
+  release_lists(r);
+  return out;
+}
+
+FastVgRun::Lists FastVgRun::process(rct::NodeId v) {
+  const rct::Node& n = tree_.node(v);
+
+  if (n.kind == rct::NodeKind::Sink) {
+    Lists lists;
+    for (auto& pl : lists.node.by_phase) pl.resize(opt_.max_buffers + 1);
+    const rct::SinkInfo& si = tree_.sink(n.sink);
+    VgCand c;
+    c.load = si.cap;
+    c.slack = si.required_arrival;
+    c.current = 0.0;
+    c.noise_slack = si.noise_margin;
+    CandList& seedlist =
+        lists.node.by_phase[si.require_inverted ? 1 : 0][0];
+    seedlist = pool_.acquire();
+    seedlist.push_back(c);
+    note_created(1);
+    return lists;
+  }
+
+  NBUF_EXPECTS_MSG(n.children.size() <= 2,
+                   "Van Ginneken DP needs a binary tree");
+  NBUF_EXPECTS_MSG(!n.children.empty(), "internal node without children");
+  // Children lists are built recursively and climbed through their wires.
+  Lists acc = process(n.children.front());
+  extend_wire(acc, n.children.front());
+  if (n.children.size() == 2) {
+    Lists rightl = process(n.children.back());
+    extend_wire(rightl, n.children.back());
+    acc = merge(std::move(acc), std::move(rightl));
+  }
+  if (n.kind == rct::NodeKind::Internal && n.buffer_allowed)
+    insert_buffers(acc, v);
+  return acc;
+}
+
+void FastVgRun::verify_invariants(const CandList& list) const {
+  NBUF_ASSERT_MSG(std::is_sorted(list.begin(), list.end(), cand_less),
+                  "candidate list lost the (load asc, slack desc) order");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (opt_.noise_constraints)
+      NBUF_ASSERT_MSG(list[i].noise_slack >= 0.0,
+                      "dead candidate survived pruning");
+    if (opt_.prune_candidates && i > 0) {
+      NBUF_ASSERT_MSG(list[i - 1].load < list[i].load,
+                      "Pareto staircase: loads must strictly ascend");
+      NBUF_ASSERT_MSG(list[i - 1].slack < list[i].slack,
+                      "Pareto staircase: slacks must strictly ascend");
+    }
+  }
+}
+
+VgResult FastVgRun::run() {
+  Lists at_source = process(tree_.source());
+  // The source keeps no pending wires in the reference kernel; flush so the
+  // driver fold reads materialized, pruned lists.
+  flush(at_source);
+  stats_.pool_reuses = pool_.reuses();
+  return finalize(at_source.node, tree_, opt_, stats_);
+}
+
+}  // namespace
+
+VgResult run_fast_kernel(const rct::RoutingTree& tree,
+                         const lib::BufferLibrary& lib,
+                         const VgOptions& opt) {
+  FastVgRun run(tree, lib, opt);
+  return run.run();
+}
+
+}  // namespace nbuf::core::detail

@@ -1,0 +1,75 @@
+// Internal pieces shared by the two Van Ginneken DP kernels
+// (core/vanginneken.cpp holds the reference kernel and the common driver
+// fold; core/vanginneken_fast.cpp holds the default fast kernel). Not part
+// of the public API — include core/vanginneken.hpp instead.
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/vanginneken.hpp"
+#include "lib/buffer.hpp"
+#include "rct/tree.hpp"
+#include "util/stats.hpp"
+
+namespace nbuf::core::detail {
+
+// Accumulates wall time into `*sink` on destruction; no-op when `sink` is
+// null (stats collection off), so the default path never reads the clock.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(double* sink) : sink_(sink) {
+    if (sink_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (sink_)
+      *sink_ += std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct VgCand {
+  double load = 0.0;         // C — downstream capacitance
+  double slack = 0.0;        // q — timing slack
+  double current = 0.0;      // I — downstream coupling current
+  double noise_slack = 0.0;  // NS
+  double dhat = 0.0;         // max wire Elmore delay from here to any leaf
+                             // of the current stage (for slew checks)
+  const PlanCell* plan = nullptr;
+};
+
+using CandList = std::vector<VgCand>;
+
+// Candidate lists of one node: [phase][buffer count]. phase 0 = signal at
+// this node must be in the source's polarity, phase 1 = inverted.
+struct NodeLists {
+  std::array<std::vector<CandList>, 2> by_phase;
+};
+
+// The prune order of both kernels: load ascending, slack descending on
+// ties, so the first candidate of an equal-load run carries the best slack.
+inline bool cand_less(const VgCand& a, const VgCand& b) {
+  if (a.load != b.load) return a.load < b.load;
+  return a.slack > b.slack;
+}
+
+// Driver fold (Fig. 10 Steps 2-4) and objective selection, shared verbatim
+// by both kernels so a kernel difference can only come from the DP itself.
+VgResult finalize(const NodeLists& at_source, const rct::RoutingTree& tree,
+                  const VgOptions& opt, const util::VgStats& stats);
+
+// Entry point of the fast kernel (vanginneken_fast.cpp); preconditions are
+// checked by core::optimize.
+VgResult run_fast_kernel(const rct::RoutingTree& tree,
+                         const lib::BufferLibrary& lib, const VgOptions& opt);
+
+}  // namespace nbuf::core::detail

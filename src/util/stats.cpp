@@ -16,6 +16,15 @@ std::string format(const VgStats& s) {
                 s.candidates_generated, s.pruned_inferior,
                 s.pruned_infeasible, s.merged, s.peak_list_size);
   std::string out = buf;
+  if (s.prune_calls > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "; prune calls %zu (sorted scans %zu, sorts %zu), "
+                  "offset flushes %zu, snapshot cands avoided %zu, "
+                  "pooled reuses %zu",
+                  s.prune_calls, s.prune_sorts_skipped, s.prune_sorts,
+                  s.offset_flushes, s.snapshot_cands_avoided, s.pool_reuses);
+    out += buf;
+  }
   const double timed = s.wire_seconds + s.buffer_seconds + s.merge_seconds;
   if (timed > 0.0) {
     std::snprintf(buf, sizeof buf,

@@ -23,6 +23,18 @@ struct VgStats {
   std::size_t pruned_infeasible = 0;     // dead: noise slack went negative
   std::size_t merged = 0;                // produced by two-child merges
   std::size_t peak_list_size = 0;        // largest single candidate list
+  // Kernel-path counters (fast kernel, PR 2). The fast kernel keeps every
+  // candidate list sorted by (load asc, slack desc) across wire extension,
+  // merge and buffer insertion, so pruning is normally one linear scan;
+  // these record how often the sort actually had to run.
+  std::size_t prune_calls = 0;          // prune passes over a list
+  std::size_t prune_sorts = 0;          // passes that had to std::sort
+  std::size_t prune_sorts_skipped = 0;  // served by the sorted fast path
+  std::size_t offset_flushes = 0;       // lazy wire offsets materialized
+  std::size_t snapshot_cands_avoided = 0;  // candidates NOT deep-copied at
+                                           // buffer insertion (read views)
+  std::size_t pool_reuses = 0;  // candidate-list buffers recycled
+
   // Per-phase wall time (seconds); zero unless timing was requested.
   double wire_seconds = 0.0;    // extend-candidates-through-wire phase
   double buffer_seconds = 0.0;  // buffer-insertion phase
@@ -36,6 +48,12 @@ struct VgStats {
     merged += o.merged;
     peak_list_size = peak_list_size < o.peak_list_size ? o.peak_list_size
                                                        : peak_list_size;
+    prune_calls += o.prune_calls;
+    prune_sorts += o.prune_sorts;
+    prune_sorts_skipped += o.prune_sorts_skipped;
+    offset_flushes += o.offset_flushes;
+    snapshot_cands_avoided += o.snapshot_cands_avoided;
+    pool_reuses += o.pool_reuses;
     wire_seconds += o.wire_seconds;
     buffer_seconds += o.buffer_seconds;
     merge_seconds += o.merge_seconds;
@@ -43,11 +61,19 @@ struct VgStats {
   }
 
   // Equality of the deterministic part only (wall times never reproduce).
+  // Covers the kernel-path counters too: they are pure functions of the
+  // input net and the options, so batch runs must reproduce them at any
+  // thread count.
   [[nodiscard]] bool same_counters(const VgStats& o) const {
     return candidates_generated == o.candidates_generated &&
            pruned_inferior == o.pruned_inferior &&
            pruned_infeasible == o.pruned_infeasible && merged == o.merged &&
-           peak_list_size == o.peak_list_size;
+           peak_list_size == o.peak_list_size &&
+           prune_calls == o.prune_calls && prune_sorts == o.prune_sorts &&
+           prune_sorts_skipped == o.prune_sorts_skipped &&
+           offset_flushes == o.offset_flushes &&
+           snapshot_cands_avoided == o.snapshot_cands_avoided &&
+           pool_reuses == o.pool_reuses;
   }
 };
 

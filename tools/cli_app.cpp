@@ -30,6 +30,9 @@
 //   --segment UM      as above
 //   --stats           also print the aggregated VgStats counter block with
 //                     per-phase DP wall times
+//   --kernel K        fast (default) | reference — Van Ginneken DP kernel
+//                     (reference is the pre-optimization oracle; results
+//                     are bit-identical either way)
 //
 // Exit status: 0 when the requested optimization succeeded and the result
 // is noise-clean (batch: every net), 1 otherwise (including analyze mode
@@ -75,7 +78,7 @@ int usage(const char* argv0) {
                "[--golden] [-o out.net]\n"
                "       %s batch (--dir DIR | --netgen N) [--seed S] "
                "[--threads T] [--mode buffopt|delayopt] [--max-buffers K] "
-               "[--segment UM] [--stats]\n",
+               "[--segment UM] [--stats] [--kernel fast|reference]\n",
                argv0, argv0);
   return 2;
 }
@@ -137,6 +140,7 @@ struct BatchArgs {
   std::size_t max_buffers = 24;
   double segment = 500.0;
   bool stats = false;
+  std::string kernel = "fast";
 };
 
 bool parse_batch_args(int argc, char** argv, BatchArgs& args) {
@@ -175,12 +179,17 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args) {
       args.segment = std::stod(v);
     } else if (a == "--stats") {
       args.stats = true;
+    } else if (a == "--kernel") {
+      const char* v = value();
+      if (!v) return false;
+      args.kernel = v;
     } else {
       std::fprintf(stderr, "unknown batch option %s\n", a.c_str());
       return false;
     }
   }
   if (args.mode != "buffopt" && args.mode != "delayopt") return false;
+  if (args.kernel != "fast" && args.kernel != "reference") return false;
   // Exactly one workload source.
   const bool have_dir = !args.dir.empty();
   const bool have_gen = args.netgen_count > 0;
@@ -219,6 +228,9 @@ int batch_main(int argc, char** argv) {
                                     : batch::BatchMode::DelayOpt;
   opt.max_buffers = args.max_buffers;
   opt.tool.segmenting.max_segment_length = args.segment;
+  opt.tool.vg.kernel = args.kernel == "reference"
+                           ? core::VgKernel::Reference
+                           : core::VgKernel::Fast;
   opt.collect_stats = args.stats;
   const batch::BatchEngine engine(opt);
 
