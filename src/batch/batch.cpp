@@ -13,6 +13,44 @@
 
 namespace nbuf::batch {
 
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> hold(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining: other workers may be mid-item; claiming the rest
+        // of the queue lets everyone finish fast.
+        next.store(count, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  const std::size_t workers = std::min(threads, count);
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 BatchEngine::BatchEngine(BatchOptions options) : opt_(std::move(options)) {}
 
 std::size_t BatchEngine::thread_count() const {
@@ -36,42 +74,14 @@ BatchResult BatchEngine::run(const std::vector<BatchNet>& nets,
   // Each worker claims the next unprocessed index and writes into that
   // index's result slot; nets are never touched after construction and the
   // pipeline works on its own copy, so no two threads share mutable state.
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  auto worker = [&]() {
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= nets.size()) return;
-      try {
-        out.results[i] =
-            opt_.mode == BatchMode::BuffOpt
-                ? core::run_buffopt(nets[i].tree, lib, tool)
-                : core::run_delayopt(nets[i].tree, lib, opt_.max_buffers,
-                                     tool);
-      } catch (...) {
-        const std::lock_guard<std::mutex> hold(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        // Keep draining: other workers may be mid-net; claiming the rest of
-        // the queue (and doing nothing with it) lets everyone finish fast.
-        next.store(nets.size(), std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  const std::size_t workers = std::min(thread_count(), nets.size());
   const auto t0 = std::chrono::steady_clock::now();
-  if (workers <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  parallel_for_index(nets.size(), thread_count(), [&](std::size_t i) {
+    out.results[i] =
+        opt_.mode == BatchMode::BuffOpt
+            ? core::run_buffopt(nets[i].tree, lib, tool)
+            : core::run_delayopt(nets[i].tree, lib, opt_.max_buffers, tool);
+  });
   const auto t1 = std::chrono::steady_clock::now();
-  if (first_error) std::rethrow_exception(first_error);
 
   // Serial aggregation in index order: every field below is a pure function
   // of the (deterministic) per-net results, so the summary's counters are

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,16 @@
 #include "util/stats.hpp"
 
 namespace nbuf::batch {
+
+// The engine's fan-out primitive, exposed for other per-net passes (the
+// signoff verifier runs on it too): calls fn(i) exactly once for every
+// i in [0, count) on up to `threads` workers (0 = hardware concurrency).
+// Indices are claimed from a shared atomic counter, so any fn that writes
+// only into slot i of a pre-sized output is deterministic for every thread
+// count and schedule. The first exception any worker throws is rethrown
+// after the pool drains and joins.
+void parallel_for_index(std::size_t count, std::size_t threads,
+                        const std::function<void(std::size_t)>& fn);
 
 enum class BatchMode {
   BuffOpt,   // Problem 3: fewest buffers meeting noise and timing

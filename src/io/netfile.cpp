@@ -1,5 +1,6 @@
 #include "io/netfile.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <iomanip>
 #include <map>
@@ -266,7 +267,9 @@ void write_net(std::ostream& out, const std::string& name,
     return names.emplace(id, std::move(candidate)).first->second;
   };
 
+  std::map<rct::NodeId, std::size_t> preorder_pos;
   for (rct::NodeId id : tree.preorder()) {
+    preorder_pos.emplace(id, preorder_pos.size());
     if (id == tree.source()) continue;
     const rct::Node& n = tree.node(id);
     const rct::Wire& w = n.parent_wire;
@@ -286,7 +289,16 @@ void write_net(std::ostream& out, const std::string& name,
           << w.coupling_current / uA << '\n';
     }
   }
-  for (const auto& [node, type] : buffers.entries())
+  // entries() iterates in unspecified (hash) order; sort by the node's
+  // preorder position so the same assignment always prints the same bytes.
+  // Preorder — not raw node id — because reading the file back renumbers
+  // ids in file order, and write -> read -> write must be the identity.
+  auto entries = buffers.entries();
+  std::sort(entries.begin(), entries.end(),
+            [&](const auto& a, const auto& b) {
+              return preorder_pos.at(a.first) < preorder_pos.at(b.first);
+            });
+  for (const auto& [node, type] : entries)
     out << "buffer " << name_of(node) << ' ' << library.at(type).name
         << '\n';
 }

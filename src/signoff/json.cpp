@@ -1,0 +1,106 @@
+#include "signoff/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nbuf::signoff {
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_ += ',';
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  need_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  need_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma();
+  escape(k);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::size_t v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(int v) {
+  comma();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(std::string_view v) {
+  comma();
+  escape(v);
+}
+
+void JsonWriter::escape(std::string_view v) {
+  out_ += '"';
+  for (char c : v) {
+    switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::null() {
+  comma();
+  out_ += "null";
+}
+
+}  // namespace nbuf::signoff

@@ -1,0 +1,53 @@
+// Minimal dependency-free JSON emitter for the signoff reports.
+//
+// Deliberately tiny: objects and arrays are emitted in call order (the
+// report schema in docs/signoff.md is the contract), numbers print with
+// enough digits to round-trip a double exactly, and non-finite doubles
+// become null (JSON has no Inf/NaN). Output is deterministic: the same
+// report serializes to the same bytes on every run and thread count.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nbuf::signoff {
+
+class JsonWriter {
+ public:
+  // Structure. begin_* inside an object require a preceding key().
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+
+  // Scalars.
+  void value(double v);
+  void value(std::size_t v);
+  void value(int v);
+  void value(bool v);
+  void value(std::string_view v);
+  void null();
+
+  // Convenience: key + scalar.
+  template <class T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  // The document built so far (call once, after the last end_*).
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+
+ private:
+  void comma();
+  void escape(std::string_view v);
+  std::string out_;
+  // true = a value has already been written at this nesting depth.
+  std::vector<bool> need_comma_;
+  bool after_key_ = false;
+};
+
+}  // namespace nbuf::signoff

@@ -1,0 +1,121 @@
+#include "signoff/workload.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "signoff/json.hpp"
+#include "util/check.hpp"
+
+namespace nbuf::signoff {
+
+namespace {
+
+void track_min(double& worst, double candidate) {
+  if (std::isnan(candidate)) return;
+  worst = std::min(worst, candidate);
+}
+
+// +inf accumulators render as 0 when nothing contributed (no converged
+// leaf at all — e.g. every net infeasible).
+double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
+
+}  // namespace
+
+WorkloadSignoff run_workload(const std::vector<batch::BatchNet>& nets,
+                             const std::vector<core::ToolResult>& results,
+                             const lib::BufferLibrary& lib,
+                             const WorkloadOptions& options) {
+  NBUF_EXPECTS_MSG(nets.size() == results.size(),
+                   "signoff workload: nets/results size mismatch");
+  WorkloadSignoff out;
+  out.net_count = nets.size();
+  out.reports.resize(nets.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  batch::parallel_for_index(nets.size(), options.threads, [&](std::size_t i) {
+    out.reports[i] = verify_result(nets[i].name, results[i], lib,
+                                   options.wire_widths, options.signoff);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+
+  // Serial reduction in index order: every aggregate is a pure function of
+  // the (deterministic) per-net reports, so the summary reproduces
+  // bit-identically at any thread count.
+  out.worst_golden_slack = std::numeric_limits<double>::infinity();
+  out.worst_metric_slack = std::numeric_limits<double>::infinity();
+  out.worst_timing_slack = std::numeric_limits<double>::infinity();
+  for (const SignoffReport& r : out.reports) {
+    out.passed += r.pass() ? 1 : 0;
+    out.violations += r.violations.size();
+    for (const Violation& v : r.violations)
+      ++out.by_kind[static_cast<std::size_t>(v.kind)];
+    if (r.optimizer_feasible && r.count(ViolationKind::MetricNoise) == 0) {
+      ++out.feasible;
+      if (r.count(ViolationKind::GoldenNoise) == 0 &&
+          r.count(ViolationKind::NotConverged) == 0)
+        ++out.feasible_golden_clean;
+    }
+    track_min(out.worst_golden_slack, r.worst_golden_slack);
+    track_min(out.worst_metric_slack, r.worst_metric_slack);
+    track_min(out.worst_timing_slack, r.worst_timing_slack);
+    out.pessimism.merge(r.pessimism);
+  }
+  out.worst_golden_slack = finite_or_zero(out.worst_golden_slack);
+  out.worst_metric_slack = finite_or_zero(out.worst_metric_slack);
+  out.worst_timing_slack = finite_or_zero(out.worst_timing_slack);
+  return out;
+}
+
+std::string to_json(const WorkloadSignoff& w, bool include_leaves) {
+  JsonWriter j;
+  j.begin_object();
+  j.field("schema", std::string_view("nbuf-signoff-v1"));
+  j.field("pass", w.pass());
+  j.field("nets", w.net_count);
+  j.field("passed", w.passed);
+  j.field("violations", w.violations);
+  j.key("violations_by_kind");
+  j.begin_object();
+  for (std::size_t k = 0; k < kViolationKinds; ++k)
+    j.field(to_string(static_cast<ViolationKind>(k)), w.by_kind[k]);
+  j.end_object();
+  j.field("feasible", w.feasible);
+  j.field("feasible_golden_clean", w.feasible_golden_clean);
+  j.key("worst");
+  j.begin_object();
+  j.field("golden_slack", w.worst_golden_slack);
+  j.field("metric_slack", w.worst_metric_slack);
+  j.field("timing_slack", w.worst_timing_slack);
+  j.end_object();
+  j.key("pessimism");
+  j.begin_object();
+  j.field("samples", w.pessimism.samples);
+  j.field("min", w.pessimism.samples
+                     ? w.pessimism.min
+                     : std::numeric_limits<double>::quiet_NaN());
+  j.field("mean", w.pessimism.samples
+                      ? w.pessimism.mean()
+                      : std::numeric_limits<double>::quiet_NaN());
+  j.field("max", w.pessimism.samples
+                     ? w.pessimism.max
+                     : std::numeric_limits<double>::quiet_NaN());
+  j.field("bin_width", PessimismStats::kBinWidth);
+  j.key("bins");
+  j.begin_array();
+  for (std::size_t b : w.pessimism.bins) j.value(b);
+  j.end_array();
+  j.end_object();
+  j.field("wall_seconds", w.wall_seconds);
+  j.key("reports");
+  j.begin_array();
+  for (const SignoffReport& r : w.reports)
+    write_report_json(j, r, include_leaves);
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+}  // namespace nbuf::signoff

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "sim/stage_circuit.hpp"
 #include "sim/tree_solver.hpp"
@@ -12,19 +13,30 @@ namespace nbuf::sim {
 
 namespace {
 
+std::string convergence_message(rct::NodeId node, double coarse,
+                                double fine) {
+  return "golden simulation did not converge at node " +
+         std::to_string(node.value()) + ": peak " + std::to_string(coarse) +
+         " V at dt vs " + std::to_string(fine) + " V at dt/2";
+}
+
 struct SimOut {
   std::vector<double> peak;   // per sim node
-  std::vector<double> width;  // per sim node — time spent above peak/2
+  std::vector<double> width;  // per traced node — time above peak/2
 };
 
 // Marches the stage circuit under aggressor excitation; records per-node
-// peak |v| and, in a cheap second pass over stored leaf samples, the pulse
-// width at half the peak.
+// peak |v| and, for the nodes listed in `trace_nodes` (the stage leaves —
+// the only nodes whose pulse shape is reported), stores the waveform so a
+// cheap second pass can measure the pulse width at half the peak. Interior
+// pi-section nodes are not traced: a large unbuffered stage can take 1e5+
+// timesteps, and full-circuit traces would be hundreds of megabytes.
 SimOut simulate(const StageCircuit& c, double driver_resistance,
-                const GoldenOptions& opt) {
+                const GoldenOptions& opt, double steps_per_rise,
+                const std::vector<std::size_t>& trace_nodes) {
   NBUF_EXPECTS(driver_resistance > 0.0);
   const std::size_t n = c.size();
-  const double h = opt.aggressor.rise / opt.steps_per_rise;
+  const double h = opt.aggressor.rise / steps_per_rise;
 
   // Stage time constant estimate for the settling horizon.
   double r_total = driver_resistance;
@@ -45,9 +57,7 @@ SimOut simulate(const StageCircuit& c, double driver_resistance,
   out.peak.assign(n, 0.0);
   out.width.assign(n, 0.0);
   const auto steps = static_cast<std::size_t>(std::ceil(t_end / h));
-  // Store full waveforms (n is small per stage) to measure widths after the
-  // peak is known.
-  std::vector<std::vector<double>> trace(n);
+  std::vector<std::vector<double>> trace(trace_nodes.size());
   for (auto& tr : trace) tr.reserve(steps);
   double va_prev = opt.aggressor.at(0.0);
   for (std::size_t step = 1; step <= steps; ++step) {
@@ -60,23 +70,61 @@ SimOut simulate(const StageCircuit& c, double driver_resistance,
     }
     solver.solve(rhs);
     v = rhs;
-    for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t i = 0; i < n; ++i)
       out.peak[i] = std::max(out.peak[i], std::abs(v[i]));
-      trace[i].push_back(std::abs(v[i]));
-    }
+    for (std::size_t k = 0; k < trace_nodes.size(); ++k)
+      trace[k].push_back(std::abs(v[trace_nodes[k]]));
   }
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t k = 0; k < trace_nodes.size(); ++k) {
+    const std::size_t i = trace_nodes[k];
     const double half = out.peak[i] / 2.0;
     if (half <= 0.0) continue;
     std::size_t above = 0;
-    for (double x : trace[i])
+    for (double x : trace[k])
       if (x >= half) ++above;
     out.width[i] = static_cast<double>(above) * h;
   }
   return out;
 }
 
+// Simulates one stage at the configured timestep; with check_convergence
+// set, re-simulates at dt/2 and requires every traced leaf's peak to agree.
+SimOut simulate_checked(const StageCircuit& c, double driver_resistance,
+                        const GoldenOptions& opt,
+                        const std::vector<std::size_t>& trace_nodes) {
+  SimOut out = simulate(c, driver_resistance, opt, opt.steps_per_rise,
+                        trace_nodes);
+  if (opt.check_convergence) {
+    const SimOut fine = simulate(c, driver_resistance, opt,
+                                 opt.steps_per_rise * 2.0, {});
+    for (const auto& [id, i] : c.sim_node_of) {
+      const double coarse_peak = out.peak[i];
+      const double fine_peak = fine.peak[i];
+      const double tol = std::max(opt.convergence_atol,
+                                  opt.convergence_rtol * fine_peak);
+      if (std::abs(coarse_peak - fine_peak) > tol)
+        throw ConvergenceError(id, coarse_peak, fine_peak);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> leaf_sim_nodes(const StageCircuit& c,
+                                        const rct::Stage& stage) {
+  std::vector<std::size_t> out;
+  out.reserve(stage.sinks.size());
+  for (const rct::StageSink& s : stage.sinks)
+    out.push_back(c.sim_node_of.at(s.node));
+  return out;
+}
+
 }  // namespace
+
+ConvergenceError::ConvergenceError(rct::NodeId n, double coarse, double fine)
+    : std::runtime_error(convergence_message(n, coarse, fine)),
+      node(n),
+      coarse_peak(coarse),
+      fine_peak(fine) {}
 
 GoldenOptions golden_options_from(const lib::Technology& tech) {
   tech.validate();
@@ -91,7 +139,8 @@ std::vector<std::pair<rct::NodeId, double>> golden_stage_peaks(
     const GoldenOptions& options) {
   const StageCircuit c = build_stage_circuit(
       tree, stage, options.coupling_ratio, options.section_length);
-  const SimOut sim_out = simulate(c, stage.driver_resistance, options);
+  const SimOut sim_out = simulate_checked(c, stage.driver_resistance,
+                                          options, {});
   std::vector<std::pair<rct::NodeId, double>> out;
   out.reserve(c.sim_node_of.size());
   for (const auto& [id, sim] : c.sim_node_of)
@@ -110,7 +159,8 @@ GoldenReport golden_analyze(const rct::RoutingTree& tree,
   for (const rct::Stage& st : stages) {
     const StageCircuit c = build_stage_circuit(
         tree, st, options.coupling_ratio, options.section_length);
-    const SimOut sim_out = simulate(c, st.driver_resistance, options);
+    const SimOut sim_out = simulate_checked(c, st.driver_resistance, options,
+                                            leaf_sim_nodes(c, st));
     for (const rct::StageSink& s : st.sinks) {
       GoldenLeaf leaf;
       leaf.node = s.node;

@@ -16,6 +16,7 @@
 // resulting tree system is solved by the O(n) TreeSolver per timestep.
 #pragma once
 
+#include <stdexcept>
 #include <vector>
 
 #include "lib/technology.hpp"
@@ -30,10 +31,30 @@ struct GoldenOptions {
   double section_length = 100.0;    // µm — pi-section granularity
   double steps_per_rise = 200.0;    // timestep = rise / steps_per_rise
   double settle_time_constants = 8.0;  // simulate rise + k * stage tau
+  // Step-size sanity check: every stage is re-simulated with the timestep
+  // halved, and each leaf's peak must agree with the coarse run within
+  // max(convergence_atol, convergence_rtol * peak). A disagreement means
+  // the backward-Euler march has not converged at this dt, i.e. the
+  // reported peaks are discretization artifacts — golden_analyze throws
+  // ConvergenceError instead of returning untrustworthy numbers. Doubles
+  // the simulation cost; meant for signoff runs, off by default.
+  bool check_convergence = false;
+  double convergence_rtol = 0.02;   // relative peak tolerance
+  double convergence_atol = 1e-4;   // volt — floor for near-zero peaks
 };
 
 // Estimation-mode options derived from the process technology.
 [[nodiscard]] GoldenOptions golden_options_from(const lib::Technology& tech);
+
+// Thrown by golden_analyze when GoldenOptions::check_convergence is set and
+// halving the timestep moved some leaf's peak by more than the tolerance.
+class ConvergenceError : public std::runtime_error {
+ public:
+  ConvergenceError(rct::NodeId node, double coarse_peak, double fine_peak);
+  rct::NodeId node;          // the leaf whose peak failed to converge
+  double coarse_peak = 0.0;  // volt, at the configured dt
+  double fine_peak = 0.0;    // volt, at dt / 2
+};
 
 struct GoldenLeaf {
   rct::NodeId node;

@@ -171,6 +171,88 @@ TEST(Incremental, SingleBufferFixesMatchesNaive) {
   EXPECT_LT(fixable_nets, 10);
 }
 
+// Differential stress: the incremental structure is rebuilt after random
+// structural and electrical edits and must agree with full re-analysis at
+// every node, on 100+ distinct perturbed trees. Guards against any cached
+// quantity (currents, prefix resistances, Euler intervals, lifting tables)
+// silently assuming the generator's pristine output.
+TEST(Incremental, DifferentialAgainstFullRecomputeOnPerturbedTrees) {
+  util::Rng rng(20260807);
+  for (int trial = 0; trial < 120; ++trial) {
+    auto t = random_net(rng, 0, 7000.0);
+    const int edits = rng.uniform_int(1, 4);
+    for (int e = 0; e < edits; ++e) {
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {  // rescale a random wire's electricals
+          const auto order = t.preorder();
+          const rct::NodeId id =
+              order[static_cast<std::size_t>(rng.uniform_int(
+                  1, static_cast<int>(order.size()) - 1))];
+          rct::Wire w = t.node(id).parent_wire;
+          w.resistance *= rng.uniform(0.4, 2.5);
+          w.capacitance *= rng.uniform(0.4, 2.5);
+          w.coupling_current *= rng.uniform(0.4, 2.5);
+          t.set_parent_wire(id, w);
+          break;
+        }
+        case 1: {  // retune a random sink's pin cap and margin
+          const auto sid = rct::SinkId{static_cast<std::uint32_t>(
+              rng.uniform_int(0, static_cast<int>(t.sink_count()) - 1))};
+          rct::SinkInfo s = t.sink(sid);
+          s.cap *= rng.uniform(0.5, 2.0);
+          s.noise_margin = rng.uniform(0.3, 1.2);
+          t.set_sink_info(sid, s);
+          break;
+        }
+        default: {  // split a random wire, changing the topology
+          const auto order = t.preorder();
+          const rct::NodeId id =
+              order[static_cast<std::size_t>(rng.uniform_int(
+                  1, static_cast<int>(order.size()) - 1))];
+          const double len = t.node(id).parent_wire.length;
+          if (len > 1.0)
+            (void)t.split_wire(id, rng.uniform(0.25, 0.75) * len);
+          break;
+        }
+      }
+    }
+    t.validate();
+
+    const noise::IncrementalNoise inc(t);
+    const auto slacks = noise::noise_slacks(t);
+    const auto stages =
+        rct::decompose(t, rct::BufferAssignment{}, lib::BufferLibrary{});
+    ASSERT_EQ(stages.size(), 1u);
+    const auto nz = noise::stage_noise(t, stages[0]);
+    const auto cur = noise::stage_currents(t, stages[0]);
+    for (auto id : t.preorder()) {
+      ASSERT_NEAR(inc.noise(id), nz.at(id), 1e-12) << "trial " << trial;
+      ASSERT_NEAR(inc.current(id), cur.at(id), 1e-15) << "trial " << trial;
+      ASSERT_NEAR(inc.noise_slack(id), slacks.at(id), 1e-12)
+          << "trial " << trial;
+      // Upstream resistance against a naive parent-chain walk.
+      double r = t.driver().resistance;
+      for (rct::NodeId c = id; c != t.source(); c = t.node(c).parent)
+        r += t.node(c).parent_wire.resistance;
+      ASSERT_NEAR(inc.upstream_resistance(id), r, 1e-9)
+          << "trial " << trial;
+    }
+    // Spot-check the LCA-based shared resistance on a random node pair.
+    const auto order = t.preorder();
+    const auto pick = [&] {
+      return order[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(order.size()) - 1))];
+    };
+    const rct::NodeId a = pick(), b = pick();
+    const rct::NodeId l = naive_lca(t, a, b);
+    EXPECT_EQ(inc.lca(a, b), l) << "trial " << trial;
+    double rc = t.driver().resistance;
+    for (rct::NodeId c = l; c != t.source(); c = t.node(c).parent)
+      rc += t.node(c).parent_wire.resistance;
+    EXPECT_NEAR(inc.common_resistance(a, b), rc, 1e-9) << "trial " << trial;
+  }
+}
+
 TEST(Incremental, DecouplingNeverIncreasesNoise) {
   util::Rng rng(915);
   auto t = random_net(rng);

@@ -8,6 +8,7 @@
 #include "common/test_nets.hpp"
 #include "core/tool.hpp"
 #include "io/netfile.hpp"
+#include "netgen/netgen.hpp"
 #include "noise/devgan.hpp"
 
 namespace {
@@ -290,6 +291,44 @@ sink neg mid 500 10 0 0.8 inverted
   const auto back = io::read_net(in, kLib);
   EXPECT_FALSE(back.tree.sinks()[0].require_inverted);
   EXPECT_TRUE(back.tree.sinks()[1].require_inverted);
+}
+
+// write -> read -> write must be the identity on the bytes, not merely
+// analysis-equivalent: CI diffs exported workloads, so any formatting
+// drift (double printing, buffer-line order) shows up as churn. Buffered
+// netgen nets cover every line kind the writer can emit.
+TEST(NetFileRoundTrip, SecondWriteIsByteIdentical) {
+  netgen::TestbenchOptions gen;
+  gen.net_count = 20;
+  gen.seed = 20260807;
+  const auto nets = netgen::generate_testbench(kLib, gen);
+  ASSERT_EQ(nets.size(), 20u);
+  for (const auto& n : nets) {
+    const auto res = core::run_buffopt(n.tree, kLib);
+    std::ostringstream first;
+    io::write_net(first, n.name, res.tree, res.vg.buffers, kLib);
+    std::istringstream in(first.str());
+    const auto back = io::read_net(in, kLib);
+    std::ostringstream second;
+    io::write_net(second, back.name, back.tree, back.buffers, kLib);
+    ASSERT_EQ(first.str(), second.str()) << "formatting drift on " << n.name;
+  }
+}
+
+// The buffer lines specifically must not depend on assignment hash order:
+// the same placements made in a different order print identically.
+TEST(NetFileWrite, BufferLinesSortedByNode) {
+  auto t = test::long_two_pin(9000.0);
+  const auto res = core::run_buffopt(t, kLib);
+  const auto entries = res.vg.buffers.entries();
+  ASSERT_GE(entries.size(), 2u) << "need >=2 buffers to exercise ordering";
+  rct::BufferAssignment reversed;
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+    reversed.place(it->first, it->second);
+  std::ostringstream a, b;
+  io::write_net(a, "order", res.tree, res.vg.buffers, kLib);
+  io::write_net(b, "order", res.tree, reversed, kLib);
+  EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(NetFileRoundTrip, AnonymousNodesGetNames) {

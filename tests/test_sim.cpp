@@ -226,6 +226,48 @@ TEST(Golden, BufferReducesPeakNoise) {
   EXPECT_LT(after.sinks[0].peak, before.sinks[0].peak);
 }
 
+TEST(Golden, ConvergenceCheckPassesAtDefaultStep) {
+  // The production timestep (200 steps per rise) must already be converged:
+  // halving dt moves no leaf peak past the tolerance, so the checked run
+  // returns normally and agrees with the unchecked one.
+  auto t = test::long_two_pin(5000.0);
+  auto opt = sim::golden_options_from(lib::default_technology());
+  const auto plain = sim::golden_analyze_unbuffered(t, opt);
+  opt.check_convergence = true;
+  const auto checked = sim::golden_analyze_unbuffered(t, opt);
+  EXPECT_DOUBLE_EQ(checked.sinks[0].peak, plain.sinks[0].peak);
+}
+
+TEST(Golden, ConvergenceCheckFlagsCoarseStep) {
+  // A deliberately coarse march (2 steps per rise) under-resolves the ramp;
+  // dt/2 moves the peak, and the check must refuse to return the number.
+  auto t = test::long_two_pin(5000.0);
+  auto opt = sim::golden_options_from(lib::default_technology());
+  opt.check_convergence = true;
+  opt.steps_per_rise = 2.0;
+  EXPECT_THROW(sim::golden_analyze_unbuffered(t, opt),
+               sim::ConvergenceError);
+}
+
+TEST(Golden, ConvergenceErrorCarriesDiagnostics) {
+  auto t = test::long_two_pin(5000.0);
+  auto opt = sim::golden_options_from(lib::default_technology());
+  opt.check_convergence = true;
+  opt.steps_per_rise = 2.0;
+  try {
+    (void)sim::golden_analyze_unbuffered(t, opt);
+    FAIL() << "expected ConvergenceError";
+  } catch (const sim::ConvergenceError& e) {
+    EXPECT_TRUE(e.node.valid());
+    EXPECT_GT(e.coarse_peak, 0.0);
+    EXPECT_GT(e.fine_peak, 0.0);
+    // The error is precisely "the peaks disagree beyond tolerance".
+    const double tol = std::max(opt.convergence_atol,
+                                opt.convergence_rtol * e.fine_peak);
+    EXPECT_GT(std::abs(e.coarse_peak - e.fine_peak), tol);
+  }
+}
+
 TEST(Golden, ViolationCountUsesMargins) {
   auto t = test::long_two_pin(9000.0);  // far beyond critical length
   const auto opt = sim::golden_options_from(lib::default_technology());

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -138,6 +140,73 @@ TEST(Cli, BatchUsageErrors) {
   // Unknown mode.
   EXPECT_EQ(
       run_cli({"batch", "--netgen", "3", "--mode", "bogus"}).exit_code, 2);
+}
+
+TEST(Cli, SignoffCleanWorkloadExitsZero) {
+  const CliRun r = run_cli({"signoff", "--netgen", "6", "--seed", "7",
+                            "--threads", "2"});
+  EXPECT_EQ(r.exit_code, nbuf::cli::kExitClean) << r.out;
+  EXPECT_NE(r.out.find("signoff: 6 nets"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("verdict: PASS"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("(bound held)"), std::string::npos) << r.out;
+  EXPECT_GT(number_after(r.out, "pessimism ratio:"), 0.0);
+}
+
+TEST(Cli, SignoffViolationsExitOneNotTwo) {
+  // One buffer in delayopt mode leaves noise violations on long nets; the
+  // tool must report them via exit 1 — distinct from usage errors (2).
+  const CliRun r = run_cli({"signoff", "--netgen", "10", "--seed", "3",
+                            "--mode", "delayopt", "--max-buffers", "1"});
+  EXPECT_EQ(r.exit_code, nbuf::cli::kExitViolations) << r.out;
+  EXPECT_NE(r.out.find("verdict: FAIL"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("golden_noise"), std::string::npos) << r.out;
+}
+
+TEST(Cli, SignoffToleranceFlagsRelabelViolations) {
+  // A noise grace voltage big enough to absorb every excursion flips the
+  // FAIL run above to PASS without touching the measurements.
+  const CliRun r = run_cli({"signoff", "--netgen", "10", "--seed", "3",
+                            "--mode", "delayopt", "--max-buffers", "1",
+                            "--tol-noise", "1800", "--tol-timing", "1e9"});
+  EXPECT_EQ(r.exit_code, nbuf::cli::kExitClean) << r.out;
+  EXPECT_NE(r.out.find("verdict: PASS"), std::string::npos) << r.out;
+}
+
+TEST(Cli, SignoffWritesJsonReport) {
+  const std::string json_file = testing::TempDir() + "test_tools_signoff.json";
+  const CliRun r = run_cli({"signoff", "--netgen", "4", "--seed", "7",
+                            "--json", json_file});
+  EXPECT_EQ(r.exit_code, nbuf::cli::kExitClean) << r.out;
+  EXPECT_NE(r.out.find("wrote " + json_file), std::string::npos) << r.out;
+  std::string json;
+  {
+    std::ifstream in(json_file);
+    ASSERT_TRUE(in.good());
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    json = ss.str();
+  }
+  EXPECT_NE(json.find("\"schema\":\"nbuf-signoff-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"nets\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"pass\":true"), std::string::npos);
+  std::remove(json_file.c_str());
+}
+
+TEST(Cli, SignoffUsageErrorsExitTwo) {
+  // No workload source.
+  EXPECT_EQ(run_cli({"signoff"}).exit_code, nbuf::cli::kExitUsage);
+  // Unknown option.
+  EXPECT_EQ(run_cli({"signoff", "--netgen", "3", "--frobnicate"}).exit_code,
+            nbuf::cli::kExitUsage);
+  // Signoff-only flags are rejected by plain batch.
+  EXPECT_EQ(run_cli({"batch", "--netgen", "3", "--tol-noise", "5"})
+                .exit_code,
+            nbuf::cli::kExitUsage);
+  // Unwritable JSON path.
+  EXPECT_EQ(run_cli({"signoff", "--netgen", "2", "--json",
+                     "/nonexistent/dir/report.json"})
+                .exit_code,
+            nbuf::cli::kExitUsage);
 }
 
 }  // namespace

@@ -34,15 +34,34 @@
 //                     (reference is the pre-optimization oracle; results
 //                     are bit-identical either way)
 //
-// Exit status: 0 when the requested optimization succeeded and the result
-// is noise-clean (batch: every net), 1 otherwise (including analyze mode
-// finding violations), 2 on usage or input errors.
+//   nbuf_cli signoff (--dir DIR | --netgen N) [options]
+//
+//   Optimizes the workload exactly like `batch`, then independently
+//   re-verifies every solution three ways — golden transient simulation,
+//   Devgan metric, Elmore timing (src/signoff) — and reports structured
+//   violations plus metric-vs-golden pessimism statistics.
+//
+//   --dir/--netgen/--seed/--threads/--mode/--max-buffers/--segment/--kernel
+//                     as for `batch`
+//   --json FILE       write the full JSON report (docs/signoff.md schema)
+//   --leaves          include per-leaf rows in the JSON (large)
+//   --tol-noise MV    noise-slack grace in millivolt (default 0 = exact)
+//   --tol-timing PS   timing-slack grace in picoseconds (default 0)
+//   --tol-bound MV    slop on the metric>=golden bound check (default 1e-6)
+//   --convergence     re-simulate every stage at dt/2 and flag stages whose
+//                     peaks moved (golden step-size sanity check)
+//
+// Exit status (kExit* in cli_app.hpp): 0 when the run is clean (batch /
+// signoff: every net), 1 when violations were found (including analyze
+// mode), 2 on usage or input errors — so CI scripts can distinguish "the
+// design is bad" from "the invocation is bad".
 #include "cli_app.hpp"
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "batch/batch.hpp"
@@ -50,6 +69,7 @@
 #include "core/tool.hpp"
 #include "io/netfile.hpp"
 #include "sim/golden.hpp"
+#include "signoff/workload.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -78,9 +98,12 @@ int usage(const char* argv0) {
                "[--golden] [-o out.net]\n"
                "       %s batch (--dir DIR | --netgen N) [--seed S] "
                "[--threads T] [--mode buffopt|delayopt] [--max-buffers K] "
-               "[--segment UM] [--stats] [--kernel fast|reference]\n",
-               argv0, argv0);
-  return 2;
+               "[--segment UM] [--stats] [--kernel fast|reference]\n"
+               "       %s signoff (--dir DIR | --netgen N) [batch options] "
+               "[--json FILE] [--leaves] [--tol-noise MV] [--tol-timing PS] "
+               "[--tol-bound MV] [--convergence]\n",
+               argv0, argv0, argv0);
+  return kExitUsage;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
@@ -143,13 +166,46 @@ struct BatchArgs {
   std::string kernel = "fast";
 };
 
-bool parse_batch_args(int argc, char** argv, BatchArgs& args) {
-  for (int i = 2; i < argc; ++i) {  // argv[1] == "batch"
+// Options only the signoff subcommand accepts, on top of BatchArgs.
+struct SignoffArgs {
+  std::string json;           // write the JSON report here (empty = don't)
+  bool leaves = false;        // include per-leaf rows in the JSON
+  double tol_noise_mv = 0.0;  // noise-slack grace (millivolt)
+  double tol_timing_ps = 0.0; // timing-slack grace (picosecond)
+  double tol_bound_mv = 1e-6; // metric>=golden bound slop (millivolt)
+  bool convergence = false;   // golden step-size sanity check
+};
+
+// Parses `batch` options into `args`; when `so` is non-null the signoff
+// extras are accepted too (argv[1] is the already-matched subcommand).
+bool parse_batch_args(int argc, char** argv, BatchArgs& args,
+                      SignoffArgs* so = nullptr) {
+  for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     auto value = [&]() -> const char* {
       return (i + 1 < argc) ? argv[++i] : nullptr;
     };
-    if (a == "--dir") {
+    if (so && a == "--json") {
+      const char* v = value();
+      if (!v) return false;
+      so->json = v;
+    } else if (so && a == "--leaves") {
+      so->leaves = true;
+    } else if (so && a == "--tol-noise") {
+      const char* v = value();
+      if (!v) return false;
+      so->tol_noise_mv = std::stod(v);
+    } else if (so && a == "--tol-timing") {
+      const char* v = value();
+      if (!v) return false;
+      so->tol_timing_ps = std::stod(v);
+    } else if (so && a == "--tol-bound") {
+      const char* v = value();
+      if (!v) return false;
+      so->tol_bound_mv = std::stod(v);
+    } else if (so && a == "--convergence") {
+      so->convergence = true;
+    } else if (a == "--dir") {
       const char* v = value();
       if (!v) return false;
       args.dir = v;
@@ -196,14 +252,11 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args) {
   return have_dir != have_gen;
 }
 
-}  // namespace
-
-int batch_main(int argc, char** argv) {
-  BatchArgs args;
-  if (!parse_batch_args(argc, argv, args)) return usage(argv[0]);
-
-  const lib::BufferLibrary library = lib::default_library();
-  std::vector<batch::BatchNet> nets;
+// Loads the workload a batch-style subcommand names; returns kExitClean or
+// the exit status to fail with.
+int load_workload(const char* what, const BatchArgs& args,
+                  const lib::BufferLibrary& library,
+                  std::vector<batch::BatchNet>& nets) {
   try {
     if (!args.dir.empty()) {
       nets = batch::load_directory(args.dir, library);
@@ -214,14 +267,17 @@ int batch_main(int argc, char** argv) {
       nets = batch::from_generated(netgen::generate_testbench(library, gen));
     }
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "batch workload: %s\n", e.what());
-    return 2;
+    std::fprintf(stderr, "%s workload: %s\n", what, e.what());
+    return kExitUsage;
   }
   if (nets.empty()) {
-    std::fprintf(stderr, "batch workload is empty\n");
-    return 2;
+    std::fprintf(stderr, "%s workload is empty\n", what);
+    return kExitUsage;
   }
+  return kExitClean;
+}
 
+batch::BatchOptions engine_options(const BatchArgs& args) {
   batch::BatchOptions opt;
   opt.threads = args.threads;
   opt.mode = args.mode == "buffopt" ? batch::BatchMode::BuffOpt
@@ -232,7 +288,22 @@ int batch_main(int argc, char** argv) {
                            ? core::VgKernel::Reference
                            : core::VgKernel::Fast;
   opt.collect_stats = args.stats;
-  const batch::BatchEngine engine(opt);
+  return opt;
+}
+
+}  // namespace
+
+int batch_main(int argc, char** argv) {
+  BatchArgs args;
+  if (!parse_batch_args(argc, argv, args)) return usage(argv[0]);
+
+  const lib::BufferLibrary library = lib::default_library();
+  std::vector<batch::BatchNet> nets;
+  if (const int rc = load_workload("batch", args, library, nets);
+      rc != kExitClean)
+    return rc;
+
+  const batch::BatchEngine engine(engine_options(args));
 
   std::printf("batch: %zu nets, %zu thread(s), mode %s\n", nets.size(),
               engine.thread_count(), args.mode.c_str());
@@ -276,12 +347,98 @@ int batch_main(int argc, char** argv) {
 
   const bool clean =
       s.feasible == s.net_count && s.noise_clean_after == s.net_count;
-  return clean ? 0 : 1;
+  return clean ? kExitClean : kExitViolations;
+}
+
+int signoff_main(int argc, char** argv) {
+  BatchArgs args;
+  SignoffArgs so;
+  if (!parse_batch_args(argc, argv, args, &so)) return usage(argv[0]);
+
+  const lib::BufferLibrary library = lib::default_library();
+  std::vector<batch::BatchNet> nets;
+  if (const int rc = load_workload("signoff", args, library, nets);
+      rc != kExitClean)
+    return rc;
+
+  const batch::BatchEngine engine(engine_options(args));
+  std::printf("signoff: %zu nets, %zu thread(s), mode %s\n", nets.size(),
+              engine.thread_count(), args.mode.c_str());
+  const batch::BatchResult res = engine.run(nets, library);
+  std::printf("%-22s %.1f nets/sec (wall %.3f s)\n",
+              "optimize:", res.summary.nets_per_second(),
+              res.summary.wall_seconds);
+
+  signoff::WorkloadOptions wopt;
+  wopt.threads = args.threads;
+  wopt.signoff.golden = sim::golden_options_from(lib::default_technology());
+  wopt.signoff.golden.check_convergence = so.convergence;
+  wopt.signoff.tol.noise_slack = so.tol_noise_mv * mV;
+  wopt.signoff.tol.timing_slack = so.tol_timing_ps * ps;
+  wopt.signoff.tol.bound_slop = so.tol_bound_mv * mV;
+  const signoff::WorkloadSignoff w =
+      signoff::run_workload(nets, res.results, library, wopt);
+
+  std::printf("%-22s %.1f nets/sec (wall %.3f s)\n",
+              "verify:", w.nets_per_second(), w.wall_seconds);
+  std::printf("%-22s %zu/%zu net(s) clean, %zu violation record(s)\n",
+              "signoff:", w.passed, w.net_count, w.violations);
+  for (std::size_t k = 0; k < signoff::kViolationKinds; ++k)
+    if (w.by_kind[k] > 0)
+      std::printf("  %-20s %zu\n",
+                  signoff::to_string(static_cast<signoff::ViolationKind>(k)),
+                  w.by_kind[k]);
+  std::printf("%-22s metric-clean %zu, golden-clean %zu%s\n",
+              "theorem 1:", w.feasible, w.feasible_golden_clean,
+              w.feasible_golden_clean == w.feasible ? " (bound held)"
+                                                    : " (BOUND BROKEN)");
+  std::printf("%-22s golden %+.3f V, metric %+.3f V, timing %+.1f ps\n",
+              "worst slack:", w.worst_golden_slack, w.worst_metric_slack,
+              w.worst_timing_slack / ps);
+  if (w.pessimism.samples > 0) {
+    std::printf("%-22s %zu sample(s), min %.2f / mean %.2f / max %.2f\n",
+                "pessimism ratio:", w.pessimism.samples, w.pessimism.min,
+                w.pessimism.mean(), w.pessimism.max);
+    util::Table t({"metric/golden", "leaves"});
+    for (std::size_t b = 0; b < signoff::PessimismStats::kBinCount; ++b) {
+      if (w.pessimism.bins[b] == 0) continue;
+      // bin 0 holds bound violations; bin b>=1 holds [1+(b-1)w, 1+bw).
+      const double lo = 1.0 + static_cast<double>(b - 1) *
+                                  signoff::PessimismStats::kBinWidth;
+      char range[48];
+      if (b == 0)
+        std::snprintf(range, sizeof range, "< 1.00  (violation)");
+      else if (b + 1 == signoff::PessimismStats::kBinCount)
+        std::snprintf(range, sizeof range, ">= %.2f", lo);
+      else
+        std::snprintf(range, sizeof range, "%.2f - %.2f", lo,
+                      lo + signoff::PessimismStats::kBinWidth);
+      t.add_row({std::string(range),
+                 util::Table::integer(
+                     static_cast<long long>(w.pessimism.bins[b]))});
+    }
+    std::fputs(t.render().c_str(), stdout);
+  }
+
+  if (!so.json.empty()) {
+    std::ofstream out(so.json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", so.json.c_str());
+      return kExitUsage;
+    }
+    out << signoff::to_json(w, so.leaves) << '\n';
+    std::printf("wrote %s\n", so.json.c_str());
+  }
+
+  std::printf("verdict: %s\n", w.pass() ? "PASS" : "FAIL");
+  return w.pass() ? kExitClean : kExitViolations;
 }
 
 int cli_main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "batch") == 0)
     return batch_main(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "signoff") == 0)
+    return signoff_main(argc, argv);
 
   Args args;
   if (!parse_args(argc, argv, args)) return usage(argv[0]);
@@ -292,7 +449,7 @@ int cli_main(int argc, char** argv) {
     net = io::read_net_file(args.input, library);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", args.input.c_str(), e.what());
-    return 2;
+    return kExitUsage;
   }
   std::printf("net %s: %zu nodes, %zu sinks, %.2f mm, %.2f pF\n",
               net.name.empty() ? args.input.c_str() : net.name.c_str(),
@@ -372,7 +529,7 @@ int cli_main(int argc, char** argv) {
                        library);
     std::printf("wrote %s\n", args.output.c_str());
   }
-  return clean ? 0 : 1;
+  return clean ? kExitClean : kExitViolations;
 }
 
 }  // namespace nbuf::cli

@@ -3,19 +3,25 @@
 //
 //   nbuf_cli <input.net> [options]          single-net mode (see cli_app.cpp)
 //   nbuf_cli batch (--dir D | --netgen N) [options]   parallel batch mode
-//
-// Returns the process exit status: 0 on success with a clean result, 1 when
-// the optimization left violations (or, in batch mode, any net infeasible or
-// noisy), 2 on usage/input errors.
+//   nbuf_cli signoff (--dir D | --netgen N) [options] golden-vs-metric
+//                                                     verification
 #pragma once
 
 namespace nbuf::cli {
 
+// Process exit statuses, identical across every subcommand so scripts and
+// CI can tell "the tool found violations" (retry/inspect the workload)
+// apart from "the invocation itself was wrong" (fix the command line).
+inline constexpr int kExitClean = 0;       // ran, result clean
+inline constexpr int kExitViolations = 1;  // ran, violations/infeasible
+inline constexpr int kExitUsage = 2;       // usage or input errors
+
 // Exactly main()'s contract; argv[0] is the program name.
 int cli_main(int argc, char** argv);
 
-// The `batch` subcommand, with argv[1] == "batch" already consumed by
+// The `batch` / `signoff` subcommands, with argv[1] already matched by
 // cli_main (exposed separately for tests).
 int batch_main(int argc, char** argv);
+int signoff_main(int argc, char** argv);
 
 }  // namespace nbuf::cli
