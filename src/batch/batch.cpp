@@ -23,10 +23,17 @@ void parallel_for_index(std::size_t count, std::size_t threads,
   std::atomic<std::size_t> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  // Contract level 2: machine-check the exactly-once claim contract that
+  // every determinism argument downstream (batch results, signoff reports)
+  // rests on. Distinct workers only ever touch distinct elements, and the
+  // final read happens after join(), so the bookkeeping itself is race-free.
+  std::vector<unsigned char> claimed;
+  if (NBUF_STRUCTURAL_CHECKS != 0) claimed.resize(count, 0);
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      if (NBUF_STRUCTURAL_CHECKS != 0) ++claimed[i];
       try {
         fn(i);
       } catch (...) {
@@ -49,6 +56,11 @@ void parallel_for_index(std::size_t count, std::size_t threads,
     for (std::thread& t : pool) t.join();
   }
   if (first_error) std::rethrow_exception(first_error);
+  if (NBUF_STRUCTURAL_CHECKS != 0)
+    for (std::size_t i = 0; i < count; ++i)
+      NBUF_INVARIANT_CTX(claimed[i] == 1,
+                         util::ctx("i", i, "claims",
+                                   static_cast<int>(claimed[i])));
 }
 
 BatchEngine::BatchEngine(BatchOptions options) : opt_(std::move(options)) {}
@@ -116,7 +128,7 @@ std::vector<BatchNet> load_directory(const std::string& dir,
   for (const fs::directory_entry& e : fs::directory_iterator(dir))
     if (e.is_regular_file() && e.path().extension() == ".net")
       files.push_back(e.path());
-  std::sort(files.begin(), files.end());
+  std::sort(files.begin(), files.end());  // nbuf-lint: allow(sort)
   std::vector<BatchNet> out;
   out.reserve(files.size());
   for (const fs::path& p : files) {

@@ -28,7 +28,7 @@ void prune(std::vector<ClimbState>& cands) {
   // turns the common case into a linear scan (same trick as the Van
   // Ginneken fast kernel).
   if (!std::is_sorted(cands.begin(), cands.end(), less))
-    std::sort(cands.begin(), cands.end(), less);
+    std::sort(cands.begin(), cands.end(), less);  // nbuf-lint: allow(sort)
   std::vector<ClimbState> kept;
   for (const ClimbState& c : cands) {
     const bool dominated = std::any_of(
@@ -39,6 +39,24 @@ void prune(std::vector<ClimbState>& cands) {
     if (!dominated) kept.push_back(c);
   }
   cands = std::move(kept);
+  // Structural re-verification (contract level 2 / sanitizer builds): the
+  // linear source-ward merge is only correct while climb lists stay sorted
+  // by current ascending with no pair in a dominance relation. O(n²), but
+  // fork lists are tiny in practice.
+  if (NBUF_STRUCTURAL_CHECKS != 0) {
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (i > 0)
+        NBUF_INVARIANT_CTX(cands[i - 1].current <= cands[i].current,
+                           util::ctx("i", i, "current[i-1]",
+                                     cands[i - 1].current, "current[i]",
+                                     cands[i].current));
+      for (std::size_t j = i + 1; j < cands.size(); ++j)
+        NBUF_INVARIANT_CTX(!(cands[i].current <= cands[j].current &&
+                             cands[i].noise_slack >= cands[j].noise_slack &&
+                             cands[i].buffers <= cands[j].buffers),
+                           util::ctx("i", i, "j", j));
+    }
+  }
 }
 
 class Alg2Run {

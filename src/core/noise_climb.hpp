@@ -6,6 +6,8 @@
 // the wire (Theorem 1), which is what makes the greedy optimal.
 #pragma once
 
+#include <cmath>
+
 #include "core/plan.hpp"
 #include "core/theory.hpp"
 #include "rct/tree.hpp"
@@ -41,6 +43,14 @@ inline ClimbState climb_wire(const rct::Wire& w, rct::NodeId below,
                              ClimbState s, double r_b, double nm_b,
                              lib::BufferId bid, PlanArena& arena) {
   NBUF_ASSERT(s.noise_slack >= r_b * s.current - 1e-18);
+  // The Devgan metric is an upper bound only for finite, nonnegative
+  // electricals (PAPER.md Thm 2); a NaN here would silently poison every
+  // comparison below, so reject non-physical wires loudly.
+  NBUF_REQUIRE_CTX(std::isfinite(w.resistance) && w.resistance >= 0.0 &&
+                       std::isfinite(w.coupling_current) &&
+                       w.coupling_current >= 0.0 && std::isfinite(w.length),
+                   util::ctx("node", below.value(), "R", w.resistance, "I",
+                             w.coupling_current, "len", w.length));
   if (w.length <= 0.0 || (w.resistance <= 0.0 && w.coupling_current <= 0.0)) {
     return s;  // zero-length binarization dummy: electrically transparent
   }
@@ -59,6 +69,11 @@ inline ClimbState climb_wire(const rct::Wire& w, rct::NodeId below,
       s.noise_slack -= r_per * remaining *
                        (i_per * remaining / 2.0 + s.current);
       s.current += i_per * remaining;
+      // Climb monotonicity (eq. 12): the wire charge only ever CONSUMES
+      // noise slack, and the top state must still admit a buffer.
+      NBUF_ASSERT_CTX(s.noise_slack >= r_b * s.current - 1e-18,
+                      util::ctx("NS", s.noise_slack, "R_b*I",
+                                r_b * s.current));
       return s;
     }
     // Forced insertion at maximal distance above the current bottom
@@ -66,6 +81,12 @@ inline ClimbState climb_wire(const rct::Wire& w, rct::NodeId below,
     const auto x_opt =
         critical_length(r_b, r_per, i_per, s.noise_slack, s.current);
     NBUF_ASSERT_MSG(x_opt.has_value(), "climb invariant NS >= R_b*I broken");
+    // Theorem 1 length bounds: the maximal placement is nonnegative and —
+    // since the deferral test above failed — inside the remaining wire (a
+    // critical length beyond it would have made the top feasible). The
+    // relative slop covers sqrt rounding in the quadratic solve.
+    NBUF_ASSERT_CTX(*x_opt >= 0.0 && *x_opt <= remaining * (1.0 + 1e-9),
+                    util::ctx("x_opt", *x_opt, "remaining", remaining));
     // Keep the split strictly inside the wire and strictly below the
     // reserved top gap; shrinking x only reduces noise, so feasibility holds.
     double x = std::min(*x_opt * (1.0 - kPlacementBackoff),

@@ -97,7 +97,7 @@ void apply_plan(rct::RoutingTree& tree,
     }
   }
   for (auto& [below, group] : per_wire) {
-    std::sort(group.begin(), group.end(),
+    std::sort(group.begin(), group.end(),  // nbuf-lint: allow(sort)
               [](const PlannedBuffer& x, const PlannedBuffer& y) {
                 return x.dist_above < y.dist_above;
               });

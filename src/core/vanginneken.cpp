@@ -70,6 +70,7 @@ void VgRun::prune(CandList& list) {
     list = std::move(kept);
   }
   stats_.peak_list_size = std::max(stats_.peak_list_size, list.size());
+  if (detail::verify_lists_enabled(opt_)) detail::verify_cand_list(list, opt_);
 }
 
 void VgRun::extend_wire(NodeLists& lists, rct::NodeId child) {
@@ -269,6 +270,25 @@ VgResult VgRun::run() {
 
 namespace detail {
 
+void verify_cand_list(const CandList& list, const VgOptions& opt) {
+  NBUF_ASSERT_MSG(std::is_sorted(list.begin(), list.end(), cand_less),
+                  "candidate list lost the (load asc, slack desc) order");
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (opt.noise_constraints)
+      NBUF_ASSERT_CTX(
+          list[i].noise_slack >= 0.0,
+          util::ctx("i", i, "noise_slack", list[i].noise_slack));
+    if (opt.prune_candidates && i > 0) {
+      NBUF_ASSERT_CTX(list[i - 1].load < list[i].load,
+                      util::ctx("i", i, "load[i-1]", list[i - 1].load,
+                                "load[i]", list[i].load));
+      NBUF_ASSERT_CTX(list[i - 1].slack < list[i].slack,
+                      util::ctx("i", i, "slack[i-1]", list[i - 1].slack,
+                                "slack[i]", list[i].slack));
+    }
+  }
+}
+
 VgResult finalize(const NodeLists& at_source, const rct::RoutingTree& tree,
                   const VgOptions& opt, const util::VgStats& stats) {
   const rct::Driver& drv = tree.driver();
@@ -352,8 +372,9 @@ VgResult optimize(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
   NBUF_EXPECTS_MSG(!lib.empty(), "empty buffer library");
   NBUF_EXPECTS(options.max_buffers >= 1);
   if (!options.buffer_costs.empty()) {
-    NBUF_EXPECTS_MSG(options.buffer_costs.size() == lib.size(),
-                     "buffer_costs must have one entry per library type");
+    NBUF_REQUIRE_CTX(options.buffer_costs.size() == lib.size(),
+                     util::ctx("buffer_costs", options.buffer_costs.size(),
+                               "library types", lib.size()));
     for (std::size_t c : options.buffer_costs) NBUF_EXPECTS(c >= 1);
   }
   if (options.kernel == VgKernel::Reference) {

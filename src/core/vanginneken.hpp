@@ -87,9 +87,11 @@ struct VgOptions {
   bool collect_stats = false;
   // DP inner-loop implementation; results are identical either way.
   VgKernel kernel = VgKernel::Fast;
-  // Debug: the fast kernel re-verifies the sort/Pareto invariant of every
-  // candidate list after each DP step and throws on violation. O(k) per
-  // step — test-only (tests/test_vg_kernel property test).
+  // Both kernels re-verify the sort/Pareto/no-dead-candidate invariants of
+  // every candidate list after each DP step (detail::verify_cand_list) and
+  // throw on violation. O(k) per step. Runs when this is set OR when the
+  // build carries full structural contracts (NBUF_CONTRACTS=2, the default
+  // for Debug and sanitizer builds — see docs/quality.md).
   bool check_invariants = false;
 };
 

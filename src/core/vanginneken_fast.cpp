@@ -79,7 +79,6 @@ class FastVgRun {
   void prune(CandList& list, bool known_sorted);
   void merge_runs(CandList& list);
   void merge_tail_and_prune(CandList& list, std::size_t prefix);
-  void verify_invariants(const CandList& list) const;
   void release_lists(Lists& lists);
 
   void note_created(std::size_t n) { stats_.candidates_generated += n; }
@@ -109,7 +108,7 @@ void FastVgRun::prune(CandList& list, bool known_sorted) {
   if (known_sorted) {
     ++stats_.prune_sorts_skipped;
   } else {
-    std::sort(list.begin(), list.end(), cand_less);
+    std::sort(list.begin(), list.end(), cand_less);  // nbuf-lint: allow(sort)
     ++stats_.prune_sorts;
   }
   const bool noise = opt_.noise_constraints;
@@ -134,7 +133,7 @@ void FastVgRun::prune(CandList& list, bool known_sorted) {
   }
   list.resize(out);
   stats_.peak_list_size = std::max(stats_.peak_list_size, list.size());
-  if (opt_.check_invariants) verify_invariants(list);
+  if (verify_lists_enabled(opt_)) verify_cand_list(list, opt_);
 }
 
 // Collapses a concatenation of sorted runs (starts in run_bounds_) into one
@@ -248,7 +247,7 @@ void FastVgRun::extend_wire(Lists& lists, rct::NodeId child) {
 // only part that is out of order, so no full sort is needed.
 void FastVgRun::merge_tail_and_prune(CandList& list, std::size_t prefix) {
   const auto tail = list.begin() + static_cast<std::ptrdiff_t>(prefix);
-  std::sort(tail, list.end(), cand_less);
+  std::sort(tail, list.end(), cand_less);  // nbuf-lint: allow(sort)
   scratch_.clear();
   scratch_.reserve(list.size());
   std::merge(list.begin(), tail, tail, list.end(),
@@ -259,6 +258,10 @@ void FastVgRun::merge_tail_and_prune(CandList& list, std::size_t prefix) {
 
 void FastVgRun::insert_buffers(Lists& lists, rct::NodeId v) {
   flush(lists);
+  // Offset-flush invariant: buffer insertion must read fully materialized
+  // candidates — a pending wire here would mean the views below are stale.
+  NBUF_ASSERT_MSG(lists.pending.empty(),
+                  "lazy wire offsets must be flushed before insert_buffers");
   const PhaseTimer timer(timed(&util::VgStats::buffer_seconds));
   // Read views: every type considers only unbuffered-at-v candidates,
   // enforcing one buffer per node (Step 5). Appends only ever push beyond
@@ -333,6 +336,8 @@ void FastVgRun::release_lists(Lists& lists) {
 FastVgRun::Lists FastVgRun::merge(Lists l, Lists r) {
   flush(l);
   flush(r);
+  NBUF_ASSERT_MSG(l.pending.empty() && r.pending.empty(),
+                  "lazy wire offsets must be flushed before merge");
   const PhaseTimer timer(timed(&util::VgStats::merge_seconds));
   const std::size_t kmax = opt_.max_buffers;
   Lists out;
@@ -426,27 +431,13 @@ FastVgRun::Lists FastVgRun::process(rct::NodeId v) {
   return acc;
 }
 
-void FastVgRun::verify_invariants(const CandList& list) const {
-  NBUF_ASSERT_MSG(std::is_sorted(list.begin(), list.end(), cand_less),
-                  "candidate list lost the (load asc, slack desc) order");
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    if (opt_.noise_constraints)
-      NBUF_ASSERT_MSG(list[i].noise_slack >= 0.0,
-                      "dead candidate survived pruning");
-    if (opt_.prune_candidates && i > 0) {
-      NBUF_ASSERT_MSG(list[i - 1].load < list[i].load,
-                      "Pareto staircase: loads must strictly ascend");
-      NBUF_ASSERT_MSG(list[i - 1].slack < list[i].slack,
-                      "Pareto staircase: slacks must strictly ascend");
-    }
-  }
-}
-
 VgResult FastVgRun::run() {
   Lists at_source = process(tree_.source());
   // The source keeps no pending wires in the reference kernel; flush so the
   // driver fold reads materialized, pruned lists.
   flush(at_source);
+  NBUF_ASSERT_MSG(at_source.pending.empty(),
+                  "lazy wire offsets must be flushed before the driver fold");
   stats_.pool_reuses = pool_.reuses();
   return finalize(at_source.node, tree_, opt_, stats_);
 }

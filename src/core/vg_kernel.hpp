@@ -12,6 +12,7 @@
 #include "core/vanginneken.hpp"
 #include "lib/buffer.hpp"
 #include "rct/tree.hpp"
+#include "util/contracts.hpp"
 #include "util/stats.hpp"
 
 namespace nbuf::core::detail {
@@ -60,6 +61,25 @@ struct NodeLists {
 inline bool cand_less(const VgCand& a, const VgCand& b) {
   if (a.load != b.load) return a.load < b.load;
   return a.slack > b.slack;
+}
+
+// Full structural verification of one post-prune candidate list — the
+// checks that used to live only in tests/test_vg_kernel, promoted into the
+// library so every build at contract level 2 (and every caller that sets
+// VgOptions::check_invariants) re-proves them after each DP step:
+//   * sorted by cand_less — (load asc, slack desc) — the invariant both
+//     Algorithm 2's pruning and the fast kernel's sort-free scans rest on;
+//   * a strict Pareto staircase (loads AND slacks strictly ascend) when
+//     dominance pruning is on;
+//   * no dead candidate (noise slack < 0) when noise constraints are on.
+// O(n) per call; throws std::logic_error (NBUF_ASSERT) on violation.
+void verify_cand_list(const CandList& list, const VgOptions& opt);
+
+// True when the kernels should call verify_cand_list after each step:
+// requested explicitly, or the build carries full structural checks
+// (NBUF_CONTRACTS=2 — the default for Debug and sanitizer builds).
+inline bool verify_lists_enabled(const VgOptions& opt) {
+  return NBUF_STRUCTURAL_CHECKS != 0 || opt.check_invariants;
 }
 
 // Driver fold (Fig. 10 Steps 2-4) and objective selection, shared verbatim

@@ -1,6 +1,7 @@
 #include "elmore/elmore.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/check.hpp"
@@ -54,6 +55,13 @@ std::unordered_map<rct::NodeId, double> stage_wire_delays(
     if (id == stage.root) continue;
     const rct::Node& n = tree.node(id);
     const rct::Wire& w = n.parent_wire;
+    // Elmore delay is a provable upper bound only for nonnegative RC; a
+    // negative or non-finite value here would silently invert slacks.
+    NBUF_REQUIRE_CTX(std::isfinite(w.resistance) && w.resistance >= 0.0 &&
+                         std::isfinite(w.capacitance) &&
+                         w.capacitance >= 0.0,
+                     util::ctx("node", id.value(), "R", w.resistance, "C",
+                               w.capacitance));
     auto pd = delay.find(n.parent);
     NBUF_ASSERT_MSG(pd != delay.end(), "stage nodes must be preorder");
     delay[id] =

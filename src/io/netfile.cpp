@@ -1,6 +1,7 @@
 #include "io/netfile.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <map>
@@ -37,9 +38,18 @@ struct Parser {
     throw ParseError(lineno, msg);
   }
 
+  // Parse bound: every numeric field must be finite and of sane magnitude.
+  // operator>> happily reads "inf"/"nan", and one NaN wire would defeat the
+  // finiteness contracts the noise/elmore engines rely on (Thm 2's upper
+  // bound holds only for finite nonnegative electricals), so the parser is
+  // the right place to reject non-physical values with a line number.
+  static constexpr double kMaxMagnitude = 1e12;
+
   double num(std::istringstream& ss, const char* what) {
     double v = 0.0;
     if (!(ss >> v)) fail(std::string("expected number for ") + what);
+    if (!std::isfinite(v) || v < -kMaxMagnitude || v > kMaxMagnitude)
+      fail(std::string("non-finite or out-of-range value for ") + what);
     return v;
   }
 
@@ -145,8 +155,11 @@ struct Parser {
       }
       try {
         std::size_t used = 0;
-        extra.push_back(std::stod(tok, &used));
+        const double v = std::stod(tok, &used);
         if (used != tok.size()) fail("bad trailing token '" + tok + "'");
+        if (!std::isfinite(v) || v < -kMaxMagnitude || v > kMaxMagnitude)
+          fail("non-finite or out-of-range trailing value '" + tok + "'");
+        extra.push_back(v);
       } catch (const std::invalid_argument&) {
         fail("unexpected trailing token '" + tok + "'");
       }
@@ -294,7 +307,7 @@ void write_net(std::ostream& out, const std::string& name,
   // Preorder — not raw node id — because reading the file back renumbers
   // ids in file order, and write -> read -> write must be the identity.
   auto entries = buffers.entries();
-  std::sort(entries.begin(), entries.end(),
+  std::sort(entries.begin(), entries.end(),  // nbuf-lint: allow(sort)
             [&](const auto& a, const auto& b) {
               return preorder_pos.at(a.first) < preorder_pos.at(b.first);
             });

@@ -26,7 +26,7 @@ std::vector<rct::NodeId> apply_coupling(
     cuts.push_back(s.from);
     cuts.push_back(s.to);
   }
-  std::sort(cuts.begin(), cuts.end());
+  std::sort(cuts.begin(), cuts.end());  // nbuf-lint: allow(sort)
   cuts.erase(std::unique(cuts.begin(), cuts.end(),
                          [](double a, double b) {
                            return std::abs(a - b) < 1e-9;

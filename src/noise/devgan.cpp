@@ -1,6 +1,7 @@
 #include "noise/devgan.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "util/check.hpp"
@@ -50,6 +51,14 @@ std::unordered_map<rct::NodeId, double> stage_noise(
     if (id == stage.root) continue;
     const rct::Node& n = tree.node(id);
     const rct::Wire& w = n.parent_wire;
+    // Theorem 2's upper-bound property needs finite, nonnegative R and I —
+    // a negative coupling current would let noise "cancel" and a NaN would
+    // propagate into every slack downstream of this wire.
+    NBUF_REQUIRE_CTX(std::isfinite(w.resistance) && w.resistance >= 0.0 &&
+                         std::isfinite(w.coupling_current) &&
+                         w.coupling_current >= 0.0,
+                     util::ctx("node", id.value(), "R", w.resistance, "I",
+                               w.coupling_current));
     auto pn = nz.find(n.parent);
     NBUF_ASSERT_MSG(pn != nz.end(), "stage nodes must be preorder");
     nz[id] = pn->second +
@@ -66,6 +75,9 @@ NoiseReport analyze(const rct::RoutingTree& tree,
   report.sinks.resize(tree.sink_count());
   report.worst_slack = std::numeric_limits<double>::infinity();
   for (const rct::Stage& st : stages) {
+    NBUF_REQUIRE_CTX(std::isfinite(st.driver_resistance) &&
+                         st.driver_resistance >= 0.0,
+                     util::ctx("R_drv", st.driver_resistance));
     const auto nz = stage_noise(tree, st);
     for (const rct::StageSink& s : st.sinks) {
       LeafNoise ln;

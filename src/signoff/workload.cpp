@@ -41,6 +41,15 @@ WorkloadSignoff run_workload(const std::vector<batch::BatchNet>& nets,
   const auto t1 = std::chrono::steady_clock::now();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
 
+  // Contract level 2: the reduction below is index-ordered and duplicate-
+  // free only because report slot i belongs to input net i — re-prove the
+  // slot/input correspondence before folding.
+  if (NBUF_STRUCTURAL_CHECKS != 0)
+    for (std::size_t i = 0; i < nets.size(); ++i)
+      NBUF_INVARIANT_CTX(out.reports[i].net == nets[i].name,
+                         util::ctx("i", i, "report", out.reports[i].net,
+                                   "net", nets[i].name));
+
   // Serial reduction in index order: every aggregate is a pure function of
   // the (deterministic) per-net reports, so the summary reproduces
   // bit-identically at any thread count.
@@ -50,8 +59,11 @@ WorkloadSignoff run_workload(const std::vector<batch::BatchNet>& nets,
   for (const SignoffReport& r : out.reports) {
     out.passed += r.pass() ? 1 : 0;
     out.violations += r.violations.size();
-    for (const Violation& v : r.violations)
+    for (const Violation& v : r.violations) {
+      NBUF_ASSERT_CTX(static_cast<std::size_t>(v.kind) < kViolationKinds,
+                      util::ctx("kind", static_cast<std::size_t>(v.kind)));
       ++out.by_kind[static_cast<std::size_t>(v.kind)];
+    }
     if (r.optimizer_feasible && r.count(ViolationKind::MetricNoise) == 0) {
       ++out.feasible;
       if (r.count(ViolationKind::GoldenNoise) == 0 &&

@@ -1,52 +1,11 @@
-// Precondition / invariant checking helpers.
-//
-// NBUF_EXPECTS is used for public-API preconditions (caller errors) and
-// throws std::invalid_argument; NBUF_ASSERT is used for internal invariants
-// and throws std::logic_error. Both are always on: this is an EDA research
-// library where silent corruption of an optimization result is far more
-// expensive than the check.
+// Compatibility shim: the contract macros now live in util/contracts.hpp
+// (three compile-time levels, structured failure context). The original
+// NBUF_EXPECTS spelling for public-API preconditions maps to NBUF_REQUIRE
+// and keeps working everywhere; new code should include util/contracts.hpp
+// and use NBUF_REQUIRE / NBUF_ASSERT / NBUF_INVARIANT directly.
 #pragma once
 
-#include <sstream>
-#include <stdexcept>
-#include <string>
+#include "util/contracts.hpp"
 
-namespace nbuf::util {
-
-[[noreturn]] inline void fail_expects(const char* cond, const char* file,
-                                      int line, const std::string& msg) {
-  std::ostringstream os;
-  os << "precondition failed: " << cond << " at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw std::invalid_argument(os.str());
-}
-
-[[noreturn]] inline void fail_assert(const char* cond, const char* file,
-                                     int line, const std::string& msg) {
-  std::ostringstream os;
-  os << "invariant failed: " << cond << " at " << file << ':' << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw std::logic_error(os.str());
-}
-
-}  // namespace nbuf::util
-
-#define NBUF_EXPECTS(cond)                                              \
-  do {                                                                  \
-    if (!(cond)) ::nbuf::util::fail_expects(#cond, __FILE__, __LINE__, ""); \
-  } while (0)
-
-#define NBUF_EXPECTS_MSG(cond, msg)                                     \
-  do {                                                                  \
-    if (!(cond)) ::nbuf::util::fail_expects(#cond, __FILE__, __LINE__, (msg)); \
-  } while (0)
-
-#define NBUF_ASSERT(cond)                                               \
-  do {                                                                  \
-    if (!(cond)) ::nbuf::util::fail_assert(#cond, __FILE__, __LINE__, ""); \
-  } while (0)
-
-#define NBUF_ASSERT_MSG(cond, msg)                                      \
-  do {                                                                  \
-    if (!(cond)) ::nbuf::util::fail_assert(#cond, __FILE__, __LINE__, (msg)); \
-  } while (0)
+#define NBUF_EXPECTS(cond) NBUF_REQUIRE(cond)
+#define NBUF_EXPECTS_MSG(cond, msg) NBUF_REQUIRE_MSG(cond, msg)

@@ -58,7 +58,7 @@ Summary summarize(const std::vector<double>& xs) {
 double percentile(std::vector<double> xs, double p) {
   NBUF_EXPECTS(!xs.empty());
   NBUF_EXPECTS(p >= 0.0 && p <= 1.0);
-  std::sort(xs.begin(), xs.end());
+  std::sort(xs.begin(), xs.end());  // nbuf-lint: allow(sort)
   const double pos = p * static_cast<double>(xs.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, xs.size() - 1);

@@ -1,0 +1,107 @@
+// Contract macros at level 1 (the Release default): NBUF_REQUIRE and
+// NBUF_ASSERT are live and throw typed exceptions with structured messages;
+// NBUF_INVARIANT is compiled out without evaluating its condition. A
+// contract failure that crosses a noexcept boundary (worker teardown,
+// destructors) must still die loudly via std::terminate — the death tests
+// pin that. The level is forced per-TU below, overriding the build-wide
+// -DNBUF_CONTRACTS; contracts.hpp's non-macro contents are level-independent
+// so mixing TU levels inside one binary is safe.
+#undef NBUF_CONTRACTS
+#define NBUF_CONTRACTS 1
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using nbuf::util::ctx;
+
+static_assert(NBUF_STRUCTURAL_CHECKS == 0,
+              "level 1 must not enable structural-check blocks");
+
+std::string what_of(void (*f)()) {
+  try {
+    f();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected a contract violation";
+  return "";
+}
+
+TEST(ContractsL1, RequireThrowsInvalidArgumentWithLocation) {
+  EXPECT_THROW(NBUF_REQUIRE(1 == 2), std::invalid_argument);
+  const std::string w = what_of([] { NBUF_REQUIRE(1 == 2); });
+  EXPECT_NE(w.find("precondition failed: NBUF_REQUIRE(1 == 2)"),
+            std::string::npos)
+      << w;
+  EXPECT_NE(w.find("test_contracts_l1.cpp:"), std::string::npos) << w;
+}
+
+TEST(ContractsL1, RequireMsgAndCtxCarryContext) {
+  const std::string m =
+      what_of([] { NBUF_REQUIRE_MSG(false, "needs a sink"); });
+  EXPECT_NE(m.find("[needs a sink]"), std::string::npos) << m;
+  const std::string c =
+      what_of([] { NBUF_REQUIRE_CTX(false, ctx("n", 3, "load", 1.5)); });
+  EXPECT_NE(c.find("[n=3 load=1.5]"), std::string::npos) << c;
+}
+
+TEST(ContractsL1, AssertThrowsLogicErrorWithLocation) {
+  EXPECT_THROW(NBUF_ASSERT(false), std::logic_error);
+  const std::string w = what_of([] { NBUF_ASSERT_MSG(false, "lost order"); });
+  EXPECT_NE(w.find("invariant failed: NBUF_ASSERT(false"),
+            std::string::npos)
+      << w;
+  EXPECT_NE(w.find("[lost order]"), std::string::npos) << w;
+  EXPECT_THROW(NBUF_ASSERT_CTX(false, ctx("i", 7)), std::logic_error);
+}
+
+TEST(ContractsL1, PassingChecksEvaluateOnceAndStaySilent) {
+  int evals = 0;
+  auto once = [&] {
+    ++evals;
+    return true;
+  };
+  NBUF_REQUIRE(once());
+  NBUF_ASSERT(once());
+  NBUF_REQUIRE_CTX(once(), ctx("unused", 0));
+  EXPECT_EQ(evals, 3);
+}
+
+TEST(ContractsL1, InvariantIsCompiledOutWithoutEvaluating) {
+  int evals = 0;
+  auto boom = [&] {
+    ++evals;
+    return false;
+  };
+  NBUF_INVARIANT(boom());
+  NBUF_INVARIANT_MSG(boom(), "never built");
+  NBUF_INVARIANT_CTX(boom(), "never built");
+  EXPECT_EQ(evals, 0);
+}
+
+TEST(ContractsL1, CtxFormatsNameValuePairs) {
+  EXPECT_EQ(ctx(), "");
+  EXPECT_EQ(ctx("x", 1.5), "x=1.5");
+  EXPECT_EQ(ctx("x", 1.5, "n", 3), "x=1.5 n=3");
+  EXPECT_EQ(ctx("name", "wire7"), "name=wire7");
+}
+
+using ContractsL1Death = testing::Test;
+
+TEST(ContractsL1Death, RequireAcrossNoexceptTerminates) {
+  EXPECT_DEATH(
+      []() noexcept { NBUF_REQUIRE_MSG(false, "l1-require-dies"); }(),
+      "l1-require-dies");
+}
+
+TEST(ContractsL1Death, AssertAcrossNoexceptTerminates) {
+  EXPECT_DEATH([]() noexcept { NBUF_ASSERT_MSG(false, "l1-assert-dies"); }(),
+               "l1-assert-dies");
+}
+
+}  // namespace

@@ -1,0 +1,70 @@
+// Contract macros at level 2 (the Debug/sanitizer default): everything
+// level 1 provides plus NBUF_INVARIANT and the NBUF_STRUCTURAL_CHECKS
+// block gate. The level is forced per-TU below; see test_contracts_l1.cpp
+// for why that is safe.
+#undef NBUF_CONTRACTS
+#define NBUF_CONTRACTS 2
+#include "util/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace {
+
+using nbuf::util::ctx;
+
+static_assert(NBUF_STRUCTURAL_CHECKS == 1,
+              "level 2 must enable structural-check blocks");
+
+TEST(ContractsL2, InvariantThrowsLogicErrorWithLocation) {
+  EXPECT_THROW(NBUF_INVARIANT(false), std::logic_error);
+  try {
+    NBUF_INVARIANT_CTX(2 + 2 == 5, ctx("i", 4, "claims", 2));
+    FAIL() << "expected a contract violation";
+  } catch (const std::logic_error& e) {
+    const std::string w = e.what();
+    EXPECT_NE(
+        w.find("structural invariant failed: NBUF_INVARIANT(2 + 2 == 5"),
+        std::string::npos)
+        << w;
+    EXPECT_NE(w.find("test_contracts_l2.cpp:"), std::string::npos) << w;
+    EXPECT_NE(w.find("[i=4 claims=2]"), std::string::npos) << w;
+  }
+  EXPECT_THROW(NBUF_INVARIANT_MSG(false, "staircase broken"),
+               std::logic_error);
+  NBUF_INVARIANT(true);  // passing invariant is silent
+}
+
+TEST(ContractsL2, RequireAndAssertStayLive) {
+  EXPECT_THROW(NBUF_REQUIRE(false), std::invalid_argument);
+  EXPECT_THROW(NBUF_ASSERT(false), std::logic_error);
+}
+
+TEST(ContractsL2, StructuralBlockRunsAtLevelTwo) {
+  int runs = 0;
+  if (NBUF_STRUCTURAL_CHECKS != 0) ++runs;
+  EXPECT_EQ(runs, 1);
+}
+
+using ContractsL2Death = testing::Test;
+
+TEST(ContractsL2Death, RequireAcrossNoexceptTerminates) {
+  EXPECT_DEATH(
+      []() noexcept { NBUF_REQUIRE_MSG(false, "l2-require-dies"); }(),
+      "l2-require-dies");
+}
+
+TEST(ContractsL2Death, AssertAcrossNoexceptTerminates) {
+  EXPECT_DEATH([]() noexcept { NBUF_ASSERT_MSG(false, "l2-assert-dies"); }(),
+               "l2-assert-dies");
+}
+
+TEST(ContractsL2Death, InvariantAcrossNoexceptTerminates) {
+  EXPECT_DEATH(
+      []() noexcept { NBUF_INVARIANT_MSG(false, "l2-invariant-dies"); }(),
+      "l2-invariant-dies");
+}
+
+}  // namespace

@@ -140,9 +140,10 @@ TEST(Differential, Alg2AgreesWithAlg1OnRandomPaths) {
     const auto r2 = core::avoid_noise_multi_sink(t, kLib);
     EXPECT_EQ(r1.buffer_count, r2.buffer_count);
     const auto sites = buffer_sites(r1.tree);
-    if (r1.buffer_count > 0 && sites.size() <= 20)
+    if (r1.buffer_count > 0 && sites.size() <= 20) {
       EXPECT_EQ(min_clean_count(r1.tree, sites, type, r1.buffer_count - 1),
                 std::nullopt);
+    }
   }
 }
 

@@ -214,11 +214,13 @@ TEST_F(SignoffWorkload, EveryFeasibleSolutionPassesGoldenSignoff) {
   EXPECT_EQ(w.by_kind[static_cast<std::size_t>(
                 signoff::ViolationKind::NotConverged)],
             0u);
-  for (const auto& rep : w.reports)
+  for (const auto& rep : w.reports) {
     if (rep.optimizer_feasible &&
-        rep.count(signoff::ViolationKind::MetricNoise) == 0)
+        rep.count(signoff::ViolationKind::MetricNoise) == 0) {
       EXPECT_EQ(rep.count(signoff::ViolationKind::GoldenNoise), 0u)
           << rep.net;
+    }
+  }
   // Pessimism statistics must be populated and sane: hundreds of leaves,
   // every ratio >= 1 (bin 0 empty), mean within [min, max].
   EXPECT_GT(w.pessimism.samples, 200u);

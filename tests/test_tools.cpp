@@ -106,6 +106,28 @@ TEST(Cli, UsageAndInputErrorsExitTwo) {
   EXPECT_EQ(run_cli({"/nonexistent/definitely_missing.net"}).exit_code, 2);
 }
 
+TEST(Cli, MalformedNumericOptionsExitTwo) {
+  // std::stoul would wrap "-5" to a huge count and std::stod would throw
+  // out of main on "abc"; both must instead be usage errors (exit 2).
+  const std::string net = example("long_two_pin.net");
+  EXPECT_EQ(run_cli({net, "--max-buffers", "-5"}).exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({net, "--max-buffers", "abc"}).exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({net, "--max-buffers", "3x"}).exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({net, "--max-buffers", "0"}).exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({net, "--segment", "abc"}).exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({net, "--segment", "nan"}).exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({net, "--segment", "-100"}).exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({net, "--segment", "0"}).exit_code,
+            nbuf::cli::kExitUsage);
+}
+
 TEST(Cli, BatchNetgenReportsThroughputAndStats) {
   const CliRun r = run_cli({"batch", "--netgen", "5", "--seed", "21",
                             "--threads", "2", "--stats"});
@@ -140,6 +162,19 @@ TEST(Cli, BatchUsageErrors) {
   // Unknown mode.
   EXPECT_EQ(
       run_cli({"batch", "--netgen", "3", "--mode", "bogus"}).exit_code, 2);
+  // Negative or non-numeric counts must not wrap via stoul.
+  EXPECT_EQ(run_cli({"batch", "--netgen", "-5"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"batch", "--netgen", "abc"}).exit_code, 2);
+  EXPECT_EQ(run_cli({"batch", "--netgen", "3", "--seed", "-1"}).exit_code,
+            2);
+  EXPECT_EQ(
+      run_cli({"batch", "--netgen", "3", "--threads", "-2"}).exit_code, 2);
+  EXPECT_EQ(
+      run_cli({"batch", "--netgen", "3", "--max-buffers", "-1"}).exit_code,
+      2);
+  EXPECT_EQ(run_cli({"batch", "--netgen", "3", "--segment", "-10"})
+                .exit_code,
+            2);
 }
 
 TEST(Cli, SignoffCleanWorkloadExitsZero) {
@@ -205,6 +240,22 @@ TEST(Cli, SignoffUsageErrorsExitTwo) {
   // Unwritable JSON path.
   EXPECT_EQ(run_cli({"signoff", "--netgen", "2", "--json",
                      "/nonexistent/dir/report.json"})
+                .exit_code,
+            nbuf::cli::kExitUsage);
+  // Out-of-range or malformed tolerances.
+  EXPECT_EQ(run_cli({"signoff", "--netgen", "2", "--tol-noise", "-1"})
+                .exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({"signoff", "--netgen", "2", "--tol-timing", "-0.5"})
+                .exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({"signoff", "--netgen", "2", "--tol-bound", "-1e-3"})
+                .exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({"signoff", "--netgen", "2", "--tol-noise", "abc"})
+                .exit_code,
+            nbuf::cli::kExitUsage);
+  EXPECT_EQ(run_cli({"signoff", "--netgen", "2", "--tol-noise", "inf"})
                 .exit_code,
             nbuf::cli::kExitUsage);
 }

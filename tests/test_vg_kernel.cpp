@@ -16,12 +16,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/test_nets.hpp"
 #include "core/vanginneken.hpp"
+#include "core/vg_kernel.hpp"
 #include "lib/wire.hpp"
 #include "netgen/netgen.hpp"
 #include "seg/segment.hpp"
@@ -216,6 +218,44 @@ TEST(VgKernel, FastKernelCountersReportSortFreeOperation) {
   EXPECT_GT(merged.stats.merged, 0u);
   EXPECT_GT(merged.stats.pool_reuses, 0u);
   EXPECT_EQ(merged.stats.prune_sorts, 0u);
+}
+
+TEST(VgKernel, CorruptedCandidateListIsCaughtByPromotedChecks) {
+  // detail::verify_cand_list is the structural check both kernels run after
+  // each DP step (at contract level 2 or with check_invariants); feed it
+  // deliberately corrupted lists and expect each corruption to be named.
+  core::VgOptions opt;  // noise constraints and pruning default on
+
+  core::detail::CandList good;
+  good.push_back({1.0, 2.0, 0.0, 0.5, 0.0, nullptr});
+  good.push_back({2.0, 3.0, 0.0, 0.6, 0.0, nullptr});
+  EXPECT_NO_THROW(core::detail::verify_cand_list(good, opt));
+
+  // Lost (load asc, slack desc) sort order.
+  core::detail::CandList unsorted = good;
+  std::swap(unsorted[0], unsorted[1]);
+  EXPECT_THROW(core::detail::verify_cand_list(unsorted, opt),
+               std::logic_error);
+
+  // Sorted, but a dominated survivor: load rises while slack falls, so the
+  // strict Pareto staircase is broken.
+  core::detail::CandList dominated = good;
+  dominated[1].slack = 1.0;
+  EXPECT_THROW(core::detail::verify_cand_list(dominated, opt),
+               std::logic_error);
+  // ...unless dominance pruning was disabled (ablation mode).
+  core::VgOptions unpruned = opt;
+  unpruned.prune_candidates = false;
+  EXPECT_NO_THROW(core::detail::verify_cand_list(dominated, unpruned));
+
+  // A dead candidate (negative noise slack) under noise constraints.
+  core::detail::CandList dead = good;
+  dead[1].noise_slack = -0.1;
+  EXPECT_THROW(core::detail::verify_cand_list(dead, opt), std::logic_error);
+  // ...which is legal in DelayOpt mode (noise ignored).
+  core::VgOptions delayopt = opt;
+  delayopt.noise_constraints = false;
+  EXPECT_NO_THROW(core::detail::verify_cand_list(dead, delayopt));
 }
 
 }  // namespace

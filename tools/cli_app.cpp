@@ -58,8 +58,12 @@
 #include "cli_app.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -91,6 +95,48 @@ struct Args {
   bool golden = false;
 };
 
+// std::stoul would silently wrap "--netgen -5" into a huge count and
+// std::stod would terminate the process on "--segment abc"; every numeric
+// option goes through these helpers instead, so a bad value is a usage
+// error (exit 2) with a message naming the option, never a wrap or abort.
+bool parse_count(const char* v, const char* what, std::size_t& out) {
+  if (v != nullptr && std::isdigit(static_cast<unsigned char>(*v))) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (errno != ERANGE && end != nullptr && *end == '\0') {
+      out = static_cast<std::size_t>(n);
+      return true;
+    }
+  }
+  std::fprintf(stderr, "%s needs a nonnegative integer, got '%s'\n", what,
+               v == nullptr ? "" : v);
+  return false;
+}
+
+bool parse_count64(const char* v, const char* what, std::uint64_t& out) {
+  std::size_t n = 0;
+  if (!parse_count(v, what, n)) return false;
+  out = n;
+  return true;
+}
+
+bool parse_number(const char* v, const char* what, double& out) {
+  if (v != nullptr && *v != '\0') {
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(v, &end);
+    if (errno != ERANGE && end != nullptr && *end == '\0' &&
+        std::isfinite(d)) {
+      out = d;
+      return true;
+    }
+  }
+  std::fprintf(stderr, "%s needs a finite number, got '%s'\n", what,
+               v == nullptr ? "" : v);
+  return false;
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.net> [--mode analyze|buffopt|delayopt|"
@@ -117,13 +163,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       if (!v) return false;
       args.mode = v;
     } else if (a == "--max-buffers") {
-      const char* v = value();
-      if (!v) return false;
-      args.max_buffers = static_cast<std::size_t>(std::stoul(v));
+      if (!parse_count(value(), "--max-buffers", args.max_buffers))
+        return false;
     } else if (a == "--segment") {
-      const char* v = value();
-      if (!v) return false;
-      args.segment = std::stod(v);
+      if (!parse_number(value(), "--segment", args.segment)) return false;
     } else if (a == "--wire-sizing") {
       args.wire_sizing = true;
     } else if (a == "--golden") {
@@ -140,6 +183,14 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else {
       return false;
     }
+  }
+  if (args.max_buffers == 0) {
+    std::fprintf(stderr, "--max-buffers must be at least 1\n");
+    return false;
+  }
+  if (args.segment <= 0.0) {
+    std::fprintf(stderr, "--segment must be positive\n");
+    return false;
   }
   return !args.input.empty();
 }
@@ -192,17 +243,14 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args,
     } else if (so && a == "--leaves") {
       so->leaves = true;
     } else if (so && a == "--tol-noise") {
-      const char* v = value();
-      if (!v) return false;
-      so->tol_noise_mv = std::stod(v);
+      if (!parse_number(value(), "--tol-noise", so->tol_noise_mv))
+        return false;
     } else if (so && a == "--tol-timing") {
-      const char* v = value();
-      if (!v) return false;
-      so->tol_timing_ps = std::stod(v);
+      if (!parse_number(value(), "--tol-timing", so->tol_timing_ps))
+        return false;
     } else if (so && a == "--tol-bound") {
-      const char* v = value();
-      if (!v) return false;
-      so->tol_bound_mv = std::stod(v);
+      if (!parse_number(value(), "--tol-bound", so->tol_bound_mv))
+        return false;
     } else if (so && a == "--convergence") {
       so->convergence = true;
     } else if (a == "--dir") {
@@ -210,29 +258,20 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args,
       if (!v) return false;
       args.dir = v;
     } else if (a == "--netgen") {
-      const char* v = value();
-      if (!v) return false;
-      args.netgen_count = static_cast<std::size_t>(std::stoul(v));
+      if (!parse_count(value(), "--netgen", args.netgen_count)) return false;
     } else if (a == "--seed") {
-      const char* v = value();
-      if (!v) return false;
-      args.seed = std::stoull(v);
+      if (!parse_count64(value(), "--seed", args.seed)) return false;
     } else if (a == "--threads") {
-      const char* v = value();
-      if (!v) return false;
-      args.threads = static_cast<std::size_t>(std::stoul(v));
+      if (!parse_count(value(), "--threads", args.threads)) return false;
     } else if (a == "--mode") {
       const char* v = value();
       if (!v) return false;
       args.mode = v;
     } else if (a == "--max-buffers") {
-      const char* v = value();
-      if (!v) return false;
-      args.max_buffers = static_cast<std::size_t>(std::stoul(v));
+      if (!parse_count(value(), "--max-buffers", args.max_buffers))
+        return false;
     } else if (a == "--segment") {
-      const char* v = value();
-      if (!v) return false;
-      args.segment = std::stod(v);
+      if (!parse_number(value(), "--segment", args.segment)) return false;
     } else if (a == "--stats") {
       args.stats = true;
     } else if (a == "--kernel") {
@@ -246,6 +285,19 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args,
   }
   if (args.mode != "buffopt" && args.mode != "delayopt") return false;
   if (args.kernel != "fast" && args.kernel != "reference") return false;
+  if (args.max_buffers == 0) {
+    std::fprintf(stderr, "--max-buffers must be at least 1\n");
+    return false;
+  }
+  if (args.segment <= 0.0) {
+    std::fprintf(stderr, "--segment must be positive\n");
+    return false;
+  }
+  if (so && (so->tol_noise_mv < 0.0 || so->tol_timing_ps < 0.0 ||
+             so->tol_bound_mv < 0.0)) {
+    std::fprintf(stderr, "signoff tolerances must be nonnegative\n");
+    return false;
+  }
   // Exactly one workload source.
   const bool have_dir = !args.dir.empty();
   const bool have_gen = args.netgen_count > 0;
