@@ -9,14 +9,21 @@
 // aggregate buffer counts and VgStats counters must be identical at every
 // thread count.
 //
-//   figH_batch_scaling [--count N] [--seed S]
+//   figH_batch_scaling [--count N] [--seed S] [--out FILE]
+//
+// --out writes {"bench", "rows": [...], "deterministic", "phases": {...}}
+// where "phases" holds per-span wall-time totals from a trace of the
+// 8-thread run (bench/common/workload.hpp phases_json shape).
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "batch/batch.hpp"
 #include "common/workload.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -24,27 +31,25 @@ int main(int argc, char** argv) {
 
   std::size_t count = 1000;
   std::uint64_t seed = 9851;
+  std::string out;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--count" && i + 1 < argc) {
       count = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (a == "--seed" && i + 1 < argc) {
       seed = std::stoull(argv[++i]);
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--count N] [--seed S]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--count N] [--seed S] [--out FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
 
   const auto library = lib::default_library();
-  netgen::TestbenchOptions gen = bench::paper_testbench_options();
-  gen.net_count = count;
-  gen.seed = seed;
-  std::fprintf(stderr, "[workload] generating %zu-net testbench...\n",
-               count);
-  const auto nets =
-      batch::from_generated(netgen::generate_testbench(library, gen));
-  std::fprintf(stderr, "[workload] done (%u hardware thread(s)).\n",
+  const auto nets = bench::sized_testbench(library, count, seed);
+  std::fprintf(stderr, "[workload] %u hardware thread(s).\n",
                std::thread::hardware_concurrency());
 
   std::printf("== figH: batch thread scaling, %zu-net BuffOpt workload "
@@ -55,12 +60,26 @@ int main(int argc, char** argv) {
   double base_wall = 0.0;
   std::size_t base_buffers = 0, base_candidates = 0;
   bool deterministic = true;
+  struct JsonRow {
+    unsigned threads;
+    double wall, nps;
+    std::size_t buffers;
+  };
+  std::vector<JsonRow> json_rows;
+  obs::TraceData trace;  // from the 8-thread run, for the phases JSON
   for (const unsigned threads : {1u, 2u, 4u, 8u}) {
     batch::BatchOptions opt;
     opt.threads = threads;
     const batch::BatchEngine engine(opt);
+    // Tracing the widest run costs <1% (docs/observability.md) and gives
+    // the per-phase breakdown the BENCH JSON reports.
+    std::optional<obs::TraceRecording> rec;
+    if (threads == 8u && !out.empty()) rec.emplace(obs::TraceLevel::Phase);
     const batch::BatchResult res = engine.run(nets, library);
+    if (rec) trace = rec->stop();
     const batch::BatchSummary& s = res.summary;
+    json_rows.push_back(
+        {threads, s.wall_seconds, s.nets_per_second(), s.buffers_inserted});
     if (threads == 1) {
       base_wall = s.wall_seconds;
       base_buffers = s.buffers_inserted;
@@ -80,5 +99,29 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table.render().c_str());
   std::printf("results identical across thread counts -> %s\n",
               deterministic ? "HOLDS" : "BROKEN");
+
+  if (!out.empty()) {
+    std::FILE* f = std::fopen(out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"figH_batch_scaling\",\n"
+                    "  \"nets\": %zu,\n  \"rows\": [\n",
+                 nets.size());
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      const auto& r = json_rows[i];
+      std::fprintf(f,
+                   "    {\"threads\": %u, \"wall_seconds\": %.6f, "
+                   "\"nets_per_second\": %.1f, \"buffers\": %zu}%s\n",
+                   r.threads, r.wall, r.nps, r.buffers,
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"deterministic\": %s,\n  \"phases\": %s\n}\n",
+                 deterministic ? "true" : "false",
+                 bench::phases_json(trace).c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", out.c_str());
+  }
   return deterministic ? 0 : 1;
 }

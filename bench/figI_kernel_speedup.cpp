@@ -16,8 +16,10 @@
 //   figI_kernel_speedup [--quick] [--out BENCH_vg_kernel.json]
 //
 // writes {"workloads":[{name, sites|nets, threads, ref_seconds,
-// fast_seconds, speedup, identical_results}, ...]} plus a summary line per
-// workload on stdout.
+// fast_seconds, speedup, identical_results}, ...], "phases": {...}} (the
+// phases object is a per-span wall-time breakdown of one traced fast-kernel
+// batch run — bench/common/workload.hpp phases_json shape) plus a summary
+// line per workload on stdout.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include "batch/batch.hpp"
 #include "common/workload.hpp"
 #include "core/vanginneken.hpp"
+#include "obs/trace.hpp"
 #include "lib/wire.hpp"
 #include "seg/segment.hpp"
 #include "steiner/builders.hpp"
@@ -144,7 +147,8 @@ Row batch_row(const std::vector<batch::BatchNet>& nets,
   return row;
 }
 
-void write_json(const std::string& path, const std::vector<Row>& rows) {
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                const std::string& phases) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
@@ -163,7 +167,7 @@ void write_json(const std::string& path, const std::vector<Row>& rows) {
         r.fast_seconds, r.speedup(), r.identical ? "true" : "false",
         i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"phases\": %s\n}\n", phases.c_str());
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }
@@ -209,14 +213,18 @@ int main(int argc, char** argv) {
                               reps));
   }
 
-  netgen::TestbenchOptions gen = bench::paper_testbench_options();
-  gen.net_count = quick ? 60 : 500;
-  std::fprintf(stderr, "[workload] generating %zu-net testbench...\n",
-               gen.net_count);
-  const auto nets =
-      batch::from_generated(netgen::generate_testbench(library, gen));
+  const auto nets = bench::sized_testbench(library, quick ? 60 : 500);
   for (const unsigned threads : {1u, 8u})
     rows.push_back(batch_row(nets, library, threads));
+
+  // One traced fast-kernel run for the per-phase breakdown in the JSON
+  // (kept out of the timed A/B pairs above so tracing cannot skew them).
+  obs::TraceData trace;
+  {
+    obs::TraceRecording rec(obs::TraceLevel::Phase);
+    time_batch(nets, library, 8, core::VgKernel::Fast, nullptr);
+    trace = rec.stop();
+  }
 
   std::printf("== figI: fast-kernel speedup (reference vs fast) ==\n");
   bool all_identical = true;
@@ -228,7 +236,7 @@ int main(int argc, char** argv) {
         r.name.c_str(), r.sites, r.nets, r.threads, r.ref_seconds,
         r.fast_seconds, r.speedup(), r.identical ? "yes" : "NO");
   }
-  write_json(out, rows);
+  write_json(out, rows, bench::phases_json(trace));
   if (!all_identical) {
     std::printf("FAIL: kernels disagree\n");
     return 1;

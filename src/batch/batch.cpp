@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "io/netfile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::batch {
@@ -88,6 +90,7 @@ BatchResult BatchEngine::run(const std::vector<BatchNet>& nets,
   // pipeline works on its own copy, so no two threads share mutable state.
   const auto t0 = std::chrono::steady_clock::now();
   parallel_for_index(nets.size(), thread_count(), [&](std::size_t i) {
+    NBUF_TRACE_SPAN_TAGGED("batch.net", i);
     out.results[i] =
         opt_.mode == BatchMode::BuffOpt
             ? core::run_buffopt(nets[i].tree, lib, tool)
@@ -110,6 +113,19 @@ BatchResult BatchEngine::run(const std::vector<BatchNet>& nets,
     s.dp_seconds += r.optimize_seconds;
   }
   return out;
+}
+
+void record_metrics(obs::MetricsRegistry& reg, const BatchSummary& summary) {
+  reg.counter("batch.nets").add(summary.net_count);
+  reg.counter("batch.feasible").add(summary.feasible);
+  reg.counter("batch.noise_clean_before").add(summary.noise_clean_before);
+  reg.counter("batch.noise_clean_after").add(summary.noise_clean_after);
+  reg.counter("batch.timing_met").add(summary.timing_met);
+  reg.counter("batch.buffers_inserted").add(summary.buffers_inserted);
+  obs::record_vg_stats(reg, summary.stats);
+  reg.gauge("batch.wall_seconds").set(summary.wall_seconds);
+  reg.gauge("batch.dp_seconds").set(summary.dp_seconds);
+  reg.gauge("batch.nets_per_second").set(summary.nets_per_second());
 }
 
 std::vector<BatchNet> from_generated(std::vector<netgen::GeneratedNet> nets) {

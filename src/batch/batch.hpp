@@ -26,6 +26,10 @@
 #include "netgen/netgen.hpp"
 #include "util/stats.hpp"
 
+namespace nbuf::obs {
+class MetricsRegistry;
+}
+
 namespace nbuf::batch {
 
 // The engine's fan-out primitive, exposed for other per-net passes (the
@@ -99,6 +103,11 @@ class BatchEngine {
  private:
   BatchOptions opt_;
 };
+
+// Folds a batch summary into a MetricsRegistry: net/feasibility totals and
+// the aggregated VgStats DP counters as "batch.*" / "vg.*" counters
+// (schedule-independent), wall times and throughput as gauges.
+void record_metrics(obs::MetricsRegistry& reg, const BatchSummary& summary);
 
 // Adapters for the two workload sources the CLI accepts.
 [[nodiscard]] std::vector<BatchNet> from_generated(

@@ -1,6 +1,7 @@
 #include "core/alg1_single_sink.hpp"
 
 #include "core/noise_climb.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::core {
@@ -20,6 +21,7 @@ lib::BufferId noise_buffer_choice(const lib::BufferLibrary& lib) {
 NoiseAvoidanceResult avoid_noise_single_sink(
     const rct::RoutingTree& input, const lib::BufferLibrary& lib,
     const NoiseAvoidanceOptions& options) {
+  NBUF_TRACE_SPAN_TAGGED("alg1.run", input.node_count());
   NBUF_EXPECTS_MSG(input.sink_count() == 1, "Algorithm 1 needs one sink");
   for (rct::NodeId id : input.preorder())
     NBUF_EXPECTS_MSG(input.node(id).children.size() <= 1,

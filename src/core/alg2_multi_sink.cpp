@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/noise_climb.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::core {
@@ -157,6 +158,7 @@ std::vector<ClimbState> Alg2Run::candidates_at(rct::NodeId v) {
   const auto right = climbed(rc);
   NBUF_ASSERT(!left.empty() && !right.empty());
 
+  NBUF_TRACE_DETAIL_TAGGED("alg2.merge", left.size() + right.size());
   std::vector<ClimbState> merged;
   std::size_t i = 0, j = 0;
   while (i < left.size() && j < right.size()) {
@@ -209,6 +211,7 @@ std::vector<ClimbState> Alg2Run::candidates_at(rct::NodeId v) {
 MultiSinkResult avoid_noise_multi_sink(const rct::RoutingTree& input,
                                        const lib::BufferLibrary& lib,
                                        const NoiseAvoidanceOptions& options) {
+  NBUF_TRACE_SPAN_TAGGED("alg2.run", input.node_count());
   NBUF_EXPECTS_MSG(input.is_binary(),
                    "Algorithm 2 needs a binary tree (call binarize())");
   const lib::BufferId bid =

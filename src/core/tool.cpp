@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
+
 namespace nbuf::core {
 
 ToolResult run(const rct::RoutingTree& input, const lib::BufferLibrary& lib,
@@ -10,14 +12,18 @@ ToolResult run(const rct::RoutingTree& input, const lib::BufferLibrary& lib,
   r.tree.binarize();
   seg::segment(r.tree, options.segmenting);
 
-  r.noise_before = noise::analyze_unbuffered(r.tree);
-  r.timing_before = elmore::analyze_unbuffered(r.tree);
+  {
+    NBUF_TRACE_SPAN("tool.analyze_before");
+    r.noise_before = noise::analyze_unbuffered(r.tree);
+    r.timing_before = elmore::analyze_unbuffered(r.tree);
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   r.vg = optimize(r.tree, lib, options.vg);
   const auto t1 = std::chrono::steady_clock::now();
   r.optimize_seconds = std::chrono::duration<double>(t1 - t0).count();
 
+  NBUF_TRACE_SPAN("tool.analyze_after");
   r.noise_after = noise::analyze(r.tree, r.vg.buffers, lib);
   r.timing_after = elmore::analyze(r.tree, r.vg.buffers, lib);
   return r;

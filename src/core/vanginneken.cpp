@@ -6,6 +6,7 @@
 
 #include "core/vg_kernel.hpp"
 #include "elmore/slew.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::core {
@@ -50,6 +51,7 @@ class VgRun {
 // Pareto pruning on (load, slack) only — paper Step 7; with noise enabled,
 // dead candidates (NS < 0: no future gate can drive them) are removed first.
 void VgRun::prune(CandList& list) {
+  NBUF_TRACE_DETAIL_TAGGED("vg.prune", list.size());
   ++stats_.prune_calls;
   ++stats_.prune_sorts;  // this kernel always sorts
   if (opt_.noise_constraints) {
@@ -74,6 +76,7 @@ void VgRun::prune(CandList& list) {
 }
 
 void VgRun::extend_wire(NodeLists& lists, rct::NodeId child) {
+  NBUF_TRACE_DETAIL_TAGGED("vg.wire", lists.total_size());
   const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
   const rct::Wire& w = tree_.node(child).parent_wire;
   if (w.length <= 0.0 && w.resistance <= 0.0 && w.capacitance <= 0.0)
@@ -125,6 +128,7 @@ void VgRun::extend_wire(NodeLists& lists, rct::NodeId child) {
 }
 
 void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
+  NBUF_TRACE_DETAIL_TAGGED("vg.buffer", lists.total_size());
   const PhaseTimer timer(timed(&util::VgStats::buffer_seconds));
   // Snapshot the pre-insertion lists: every type considers only unbuffered-
   // at-v candidates, enforcing one buffer per node (Step 5). Reading
@@ -185,6 +189,7 @@ void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
 }
 
 NodeLists VgRun::merge(const NodeLists& l, const NodeLists& r) {
+  NBUF_TRACE_DETAIL_TAGGED("vg.merge", l.total_size() + r.total_size());
   const PhaseTimer timer(timed(&util::VgStats::merge_seconds));
   const std::size_t kmax = opt_.max_buffers;
   NodeLists out;
@@ -368,6 +373,7 @@ VgResult finalize(const NodeLists& at_source, const rct::RoutingTree& tree,
 
 VgResult optimize(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
                   const VgOptions& options) {
+  NBUF_TRACE_SPAN_TAGGED("vg.optimize", tree.node_count());
   NBUF_EXPECTS_MSG(tree.is_binary(), "call tree.binarize() first");
   NBUF_EXPECTS_MSG(!lib.empty(), "empty buffer library");
   NBUF_EXPECTS(options.max_buffers >= 1);

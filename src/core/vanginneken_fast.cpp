@@ -42,6 +42,7 @@
 
 #include "core/vg_kernel.hpp"
 #include "elmore/slew.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::core::detail {
@@ -104,6 +105,7 @@ class FastVgRun {
 // removal (NS < 0) fused into the same compaction scan. `known_sorted`
 // callers maintained the sort invariant, so no sort runs.
 void FastVgRun::prune(CandList& list, bool known_sorted) {
+  NBUF_TRACE_DETAIL_TAGGED("vg.prune", list.size());
   ++stats_.prune_calls;
   if (known_sorted) {
     ++stats_.prune_sorts_skipped;
@@ -186,6 +188,7 @@ void FastVgRun::apply_wire_and_prune(CandList& list, const rct::Wire& w) {
 // dominated candidate may only be discarded while its dominator is alive).
 void FastVgRun::flush(Lists& lists) {
   if (lists.pending.empty()) return;
+  NBUF_TRACE_DETAIL_TAGGED("vg.wire_offset", lists.pending.size());
   const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
   for (const rct::Wire* w : lists.pending) {
     for (auto& phase_lists : lists.node.by_phase) {
@@ -211,6 +214,7 @@ void FastVgRun::extend_wire(Lists& lists, rct::NodeId child) {
   // width (Lillis). The fork interleaves loads, so this is the one path
   // where the sort invariant genuinely breaks and prune must sort.
   NBUF_ASSERT(lists.pending.empty());
+  NBUF_TRACE_DETAIL_TAGGED("vg.wire", lists.node.total_size());
   const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
   for (auto& phase_lists : lists.node.by_phase) {
     for (CandList& list : phase_lists) {
@@ -262,6 +266,7 @@ void FastVgRun::insert_buffers(Lists& lists, rct::NodeId v) {
   // candidates — a pending wire here would mean the views below are stale.
   NBUF_ASSERT_MSG(lists.pending.empty(),
                   "lazy wire offsets must be flushed before insert_buffers");
+  NBUF_TRACE_DETAIL_TAGGED("vg.buffer", lists.node.total_size());
   const PhaseTimer timer(timed(&util::VgStats::buffer_seconds));
   // Read views: every type considers only unbuffered-at-v candidates,
   // enforcing one buffer per node (Step 5). Appends only ever push beyond
@@ -338,6 +343,8 @@ FastVgRun::Lists FastVgRun::merge(Lists l, Lists r) {
   flush(r);
   NBUF_ASSERT_MSG(l.pending.empty() && r.pending.empty(),
                   "lazy wire offsets must be flushed before merge");
+  NBUF_TRACE_DETAIL_TAGGED("vg.merge",
+                           l.node.total_size() + r.node.total_size());
   const PhaseTimer timer(timed(&util::VgStats::merge_seconds));
   const std::size_t kmax = opt_.max_buffers;
   Lists out;

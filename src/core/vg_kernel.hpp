@@ -54,6 +54,14 @@ using CandList = std::vector<VgCand>;
 // this node must be in the source's polarity, phase 1 = inverted.
 struct NodeLists {
   std::array<std::vector<CandList>, 2> by_phase;
+
+  // Candidate count across all buckets (trace-span tags).
+  [[nodiscard]] std::size_t total_size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& phase_lists : by_phase)
+      for (const CandList& list : phase_lists) n += list.size();
+    return n;
+  }
 };
 
 // The prune order of both kernels: load ascending, slack descending on

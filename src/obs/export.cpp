@@ -1,0 +1,83 @@
+#include "obs/export.hpp"
+
+#include "util/json.hpp"
+
+namespace nbuf::obs {
+
+std::string chrome_trace_json(const TraceData& data) {
+  util::JsonWriter j;
+  j.begin_object();
+  j.field("displayTimeUnit", std::string_view("ms"));
+  j.key("traceEvents");
+  j.begin_array();
+  for (const ThreadTrace& t : data.threads) {
+    j.begin_object();
+    j.field("ph", std::string_view("M"));
+    j.field("pid", 1);
+    j.field("tid", t.tid);
+    j.field("name", std::string_view("thread_name"));
+    j.key("args");
+    j.begin_object();
+    j.field("name", std::string_view(("worker-" + std::to_string(t.tid))));
+    j.end_object();
+    j.end_object();
+    for (const TraceEvent& e : t.events) {
+      if (!e.closed()) continue;
+      j.begin_object();
+      j.field("ph", std::string_view("X"));
+      j.field("pid", 1);
+      j.field("tid", t.tid);
+      j.field("name", std::string_view(e.name));
+      j.field("ts", static_cast<double>(e.t0_ns) * 1e-3);
+      j.field("dur", static_cast<double>(e.dur_ns) * 1e-3);
+      if (e.tag != kNoTag) {
+        j.key("args");
+        j.begin_object();
+        j.field("tag", static_cast<double>(e.tag));
+        j.end_object();
+      }
+      j.end_object();
+    }
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+std::string metrics_json(const MetricsSnapshot& snap) {
+  util::JsonWriter j;
+  j.begin_object();
+  j.field("schema", std::string_view("nbuf-metrics-v1"));
+  j.key("counters");
+  j.begin_object();
+  for (const auto& row : snap.counters)
+    j.field(row.name, static_cast<std::size_t>(row.value));
+  j.end_object();
+  j.key("histograms");
+  j.begin_object();
+  for (const auto& row : snap.histograms) {
+    j.key(row.name);
+    j.begin_object();
+    j.field("count", static_cast<std::size_t>(row.count));
+    j.field("sum", static_cast<std::size_t>(row.sum));
+    j.field("min", static_cast<std::size_t>(row.min));
+    j.field("max", static_cast<std::size_t>(row.max));
+    j.key("buckets");
+    j.begin_object();
+    for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+      if (row.buckets[i] == 0) continue;
+      j.field(std::to_string(i), static_cast<std::size_t>(row.buckets[i]));
+    }
+    j.end_object();
+    j.end_object();
+  }
+  j.end_object();
+  j.key("gauges");
+  j.begin_object();
+  for (const auto& row : snap.gauges) j.field(row.name, row.value);
+  j.end_object();
+  j.end_object();
+  return j.str();
+}
+
+}  // namespace nbuf::obs

@@ -1,0 +1,27 @@
+// Exporters: trace data to Chrome Trace Event Format JSON (loadable in
+// Perfetto / chrome://tracing) and metrics snapshots to the flat
+// nbuf-metrics-v1 schema. Both schemas are documented in
+// docs/observability.md; output is byte-deterministic for identical
+// inputs (util::JsonWriter discipline).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace nbuf::obs {
+
+// Chrome Trace Event Format: one "X" (complete) event per closed span
+// with ph/ts/dur/pid/tid/name (+ args.tag for tagged spans), plus one
+// thread_name metadata event per thread. Events stay in span-open order,
+// so ts is monotone nondecreasing within each tid.
+[[nodiscard]] std::string chrome_trace_json(const TraceData& data);
+
+// nbuf-metrics-v1: {"schema", "counters": {name: u64}, "histograms":
+// {name: {count,sum,min,max,buckets:{bit_width: u64}}}, "gauges":
+// {name: double}}. Counters and histograms are the deterministic part;
+// gauges carry timings.
+[[nodiscard]] std::string metrics_json(const MetricsSnapshot& snap);
+
+}  // namespace nbuf::obs

@@ -1,0 +1,60 @@
+// Minimal dependency-free JSON reader — the counterpart of
+// util::JsonWriter. Exists so tests can parse what the exporters emit
+// (trace-schema validation) without pulling a JSON library into the
+// toolchain. Deliberately small: numbers are doubles, object keys keep
+// insertion order, input must be a single JSON value with nothing but
+// whitespace after it.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nbuf::obs {
+
+class JsonValue {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::Null; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::Object;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::Array; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::Number;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::String;
+  }
+
+  [[nodiscard]] bool has(std::string_view key) const noexcept {
+    for (const auto& [k, v] : object)
+      if (k == key) return true;
+    return false;
+  }
+
+  // First value under `key`; throws std::out_of_range when absent or when
+  // this value is not an object.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return v;
+    throw std::out_of_range("json: no key '" + std::string(key) + "'");
+  }
+};
+
+// Parses one JSON document; throws std::runtime_error with the byte
+// offset on malformed input.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+}  // namespace nbuf::obs

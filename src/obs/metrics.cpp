@@ -1,0 +1,114 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+
+#include "obs/trace.hpp"
+#include "util/stats.hpp"
+
+namespace nbuf::obs {
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[std::bit_width(v)].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::add(double delta) noexcept {
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+
+template <class Map, class Instrument>
+Instrument& get_or_create(std::mutex& mu, Map& map, std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), std::make_unique<Instrument>())
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return get_or_create<decltype(counters_), Counter>(mu_, counters_, name);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return get_or_create<decltype(histograms_), Histogram>(mu_, histograms_,
+                                                         name);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return get_or_create<decltype(gauges_), Gauge>(mu_, gauges_, name);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c->value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.count = h->count();
+    row.sum = h->sum();
+    row.min = row.count > 0 ? h->min() : 0;
+    row.max = h->max();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+      row.buckets[i] = h->bucket(i);
+    snap.histograms.push_back(std::move(row));
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g->value()});
+  return snap;
+}
+
+void record_vg_stats(MetricsRegistry& reg, const util::VgStats& stats) {
+  reg.counter("vg.candidates_generated").add(stats.candidates_generated);
+  reg.counter("vg.pruned_inferior").add(stats.pruned_inferior);
+  reg.counter("vg.pruned_infeasible").add(stats.pruned_infeasible);
+  reg.counter("vg.merged").add(stats.merged);
+  reg.counter("vg.prune_calls").add(stats.prune_calls);
+  reg.counter("vg.prune_sorts").add(stats.prune_sorts);
+  reg.counter("vg.prune_sorts_skipped").add(stats.prune_sorts_skipped);
+  reg.counter("vg.offset_flushes").add(stats.offset_flushes);
+  reg.counter("vg.snapshot_cands_avoided").add(stats.snapshot_cands_avoided);
+  reg.counter("vg.pool_reuses").add(stats.pool_reuses);
+  reg.histogram("vg.peak_list_size").observe(stats.peak_list_size);
+  reg.gauge("vg.wire_seconds").add(stats.wire_seconds);
+  reg.gauge("vg.buffer_seconds").add(stats.buffer_seconds);
+  reg.gauge("vg.merge_seconds").add(stats.merge_seconds);
+}
+
+void record_trace(MetricsRegistry& reg, const TraceData& data) {
+  for (const PhaseRow& row : phase_breakdown(data)) {
+    reg.counter("trace." + row.name + ".count").add(row.count);
+    reg.gauge("trace." + row.name + ".seconds").add(row.seconds);
+  }
+  for (const ThreadTrace& t : data.threads) {
+    for (const TraceEvent& e : t.events) {
+      if (e.tag == kNoTag || e.tag < 0) continue;
+      reg.histogram("trace." + std::string(e.name) + ".tag")
+          .observe(static_cast<std::uint64_t>(e.tag));
+    }
+  }
+}
+
+}  // namespace nbuf::obs

@@ -3,12 +3,14 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::seg {
 
 std::size_t segment(rct::RoutingTree& tree, const Options& options) {
   NBUF_EXPECTS(options.max_segment_length > 0.0);
+  NBUF_TRACE_SPAN_TAGGED("seg.segment", tree.node_count());
   // Snapshot ids first: splits append nodes whose parent wires are already
   // short enough by construction.
   std::vector<rct::NodeId> ids = tree.preorder();

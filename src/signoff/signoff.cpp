@@ -7,7 +7,8 @@
 
 #include "elmore/elmore.hpp"
 #include "noise/devgan.hpp"
-#include "signoff/json.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::signoff {
@@ -79,6 +80,7 @@ SignoffReport verify(const std::string& name, const rct::RoutingTree& tree,
                      const rct::BufferAssignment& buffers,
                      const lib::BufferLibrary& lib,
                      const SignoffOptions& options) {
+  NBUF_TRACE_SPAN_TAGGED("signoff.verify", tree.node_count());
   SignoffReport rep;
   rep.net = name;
   rep.buffer_count = buffers.size();

@@ -32,6 +32,7 @@
 #include "rct/assignment.hpp"
 #include "rct/tree.hpp"
 #include "sim/golden.hpp"
+#include "util/json.hpp"
 
 namespace nbuf::signoff {
 
@@ -159,8 +160,10 @@ struct SignoffReport {
 
 // Appends one report into an in-progress JSON document (the workload
 // serializer embeds per-net reports this way); the per-leaf rows are the
-// bulky part and can be omitted.
-class JsonWriter;
+// bulky part and can be omitted. The emitter itself lives in util/json.hpp
+// (shared with the observability exporters); the alias keeps the historic
+// signoff::JsonWriter spelling working.
+using JsonWriter = util::JsonWriter;
 void write_report_json(JsonWriter& j, const SignoffReport& report,
                        bool include_leaves);
 

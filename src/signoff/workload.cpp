@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 
-#include "signoff/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
 #include "util/check.hpp"
 
 namespace nbuf::signoff {
@@ -35,6 +37,7 @@ WorkloadSignoff run_workload(const std::vector<batch::BatchNet>& nets,
 
   const auto t0 = std::chrono::steady_clock::now();
   batch::parallel_for_index(nets.size(), options.threads, [&](std::size_t i) {
+    NBUF_TRACE_SPAN_TAGGED("signoff.net", i);
     out.reports[i] = verify_result(nets[i].name, results[i], lib,
                                    options.wire_widths, options.signoff);
   });
@@ -128,6 +131,34 @@ std::string to_json(const WorkloadSignoff& w, bool include_leaves) {
   j.end_array();
   j.end_object();
   return j.str();
+}
+
+void record_metrics(obs::MetricsRegistry& reg, const WorkloadSignoff& w) {
+  reg.counter("signoff.nets").add(w.net_count);
+  reg.counter("signoff.passed").add(w.passed);
+  reg.counter("signoff.violations").add(w.violations);
+  for (std::size_t k = 0; k < kViolationKinds; ++k) {
+    reg.counter(std::string("signoff.violations.") +
+                to_string(static_cast<ViolationKind>(k)))
+        .add(w.by_kind[k]);
+  }
+  reg.counter("signoff.feasible").add(w.feasible);
+  reg.counter("signoff.feasible_golden_clean").add(w.feasible_golden_clean);
+  reg.counter("signoff.pessimism.samples").add(w.pessimism.samples);
+  for (std::size_t b = 0; b < PessimismStats::kBinCount; ++b) {
+    reg.counter("signoff.pessimism.bin_" + std::string(b < 10 ? "0" : "") +
+                std::to_string(b))
+        .add(w.pessimism.bins[b]);
+  }
+  reg.gauge("signoff.worst_golden_slack").set(w.worst_golden_slack);
+  reg.gauge("signoff.worst_metric_slack").set(w.worst_metric_slack);
+  reg.gauge("signoff.worst_timing_slack").set(w.worst_timing_slack);
+  reg.gauge("signoff.pessimism.min").set(w.pessimism.samples ? w.pessimism.min
+                                                             : 0.0);
+  reg.gauge("signoff.pessimism.mean").set(w.pessimism.mean());
+  reg.gauge("signoff.pessimism.max").set(w.pessimism.max);
+  reg.gauge("signoff.wall_seconds").set(w.wall_seconds);
+  reg.gauge("signoff.nets_per_second").set(w.nets_per_second());
 }
 
 }  // namespace nbuf::signoff

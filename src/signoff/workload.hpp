@@ -18,6 +18,10 @@
 #include "batch/batch.hpp"
 #include "signoff/signoff.hpp"
 
+namespace nbuf::obs {
+class MetricsRegistry;
+}
+
 namespace nbuf::signoff {
 
 struct WorkloadOptions {
@@ -71,5 +75,10 @@ struct WorkloadSignoff {
 // dominate the document size on big workloads.
 [[nodiscard]] std::string to_json(const WorkloadSignoff& workload,
                                   bool include_leaves = false);
+
+// Folds the workload aggregates into a MetricsRegistry: pass/violation
+// totals and the pessimism histogram bins as "signoff.*" counters
+// (schedule-independent), slack extrema and throughput as gauges.
+void record_metrics(obs::MetricsRegistry& reg, const WorkloadSignoff& w);
 
 }  // namespace nbuf::signoff

@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sim/stage_circuit.hpp"
 #include "sim/tree_solver.hpp"
 #include "util/check.hpp"
@@ -95,6 +96,7 @@ SimOut simulate_checked(const StageCircuit& c, double driver_resistance,
   SimOut out = simulate(c, driver_resistance, opt, opt.steps_per_rise,
                         trace_nodes);
   if (opt.check_convergence) {
+    NBUF_TRACE_DETAIL_TAGGED("golden.convergence", c.size());
     const SimOut fine = simulate(c, driver_resistance, opt,
                                  opt.steps_per_rise * 2.0, {});
     for (const auto& [id, i] : c.sim_node_of) {
@@ -152,11 +154,13 @@ GoldenReport golden_analyze(const rct::RoutingTree& tree,
                             const rct::BufferAssignment& buffers,
                             const lib::BufferLibrary& lib,
                             const GoldenOptions& options) {
+  NBUF_TRACE_SPAN_TAGGED("golden.analyze", tree.node_count());
   const auto stages = rct::decompose(tree, buffers, lib);
   GoldenReport report;
   report.sinks.resize(tree.sink_count());
   report.worst_slack = std::numeric_limits<double>::infinity();
   for (const rct::Stage& st : stages) {
+    NBUF_TRACE_DETAIL_TAGGED("golden.stage", st.sinks.size());
     const StageCircuit c = build_stage_circuit(
         tree, st, options.coupling_ratio, options.section_length);
     const SimOut sim_out = simulate_checked(c, st.driver_resistance, options,

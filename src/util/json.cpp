@@ -1,9 +1,9 @@
-#include "signoff/json.hpp"
+#include "util/json.hpp"
 
 #include <cmath>
 #include <cstdio>
 
-namespace nbuf::signoff {
+namespace nbuf::util {
 
 void JsonWriter::comma() {
   if (after_key_) {
@@ -103,4 +103,4 @@ void JsonWriter::null() {
   out_ += "null";
 }
 
-}  // namespace nbuf::signoff
+}  // namespace nbuf::util

@@ -1,7 +1,8 @@
-// Minimal dependency-free JSON emitter for the signoff reports.
+// Minimal dependency-free JSON emitter shared by the signoff reports
+// (docs/signoff.md) and the observability exporters (docs/observability.md).
 //
-// Deliberately tiny: objects and arrays are emitted in call order (the
-// report schema in docs/signoff.md is the contract), numbers print with
+// Deliberately tiny: objects and arrays are emitted in call order (each
+// consumer's documented schema is the contract), numbers print with
 // enough digits to round-trip a double exactly, and non-finite doubles
 // become null (JSON has no Inf/NaN). Output is deterministic: the same
 // report serializes to the same bytes on every run and thread count.
@@ -12,7 +13,7 @@
 #include <string_view>
 #include <vector>
 
-namespace nbuf::signoff {
+namespace nbuf::util {
 
 class JsonWriter {
  public:
@@ -50,4 +51,4 @@ class JsonWriter {
   bool after_key_ = false;
 };
 
-}  // namespace nbuf::signoff
+}  // namespace nbuf::util

@@ -1,7 +1,9 @@
 // Net-file parser/writer: happy paths, round-trips, and failure injection.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -329,6 +331,35 @@ TEST(NetFileWrite, BufferLinesSortedByNode) {
   io::write_net(a, "order", res.tree, res.vg.buffers, kLib);
   io::write_net(b, "order", res.tree, reversed, kLib);
   EXPECT_EQ(a.str(), b.str());
+}
+
+// --- corrupt-file corpus --------------------------------------------------------
+//
+// tests/data/corrupt/ holds one file per parser failure mode the fuzz-ish
+// corpus covers: truncation, duplicate nodes/drivers, cycle-introducing
+// parents, NaN/inf/overflow numerics, negative electricals, unknown
+// keywords/buffer types, trailing garbage. Every file must be rejected
+// with a structured ParseError (never a crash, hang, or silent accept),
+// and the error must carry a usable line number and message.
+
+TEST(NetFileCorpus, EveryCorruptFileThrowsParseError) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const fs::directory_entry& e : fs::directory_iterator(NBUF_CORRUPT_DIR))
+    if (e.is_regular_file() && e.path().extension() == ".net")
+      files.push_back(e.path());
+  ASSERT_GE(files.size(), 15u) << "corrupt corpus went missing";
+  for (const fs::path& p : files) {
+    try {
+      (void)io::read_net_file(p.string(), kLib);
+      FAIL() << p.filename() << ": parser accepted a corrupt file";
+    } catch (const io::ParseError& e) {
+      EXPECT_GE(e.line(), 1u) << p.filename();
+      EXPECT_STRNE(e.what(), "") << p.filename();
+    } catch (const std::exception& e) {
+      FAIL() << p.filename() << ": wrong exception type: " << e.what();
+    }
+  }
 }
 
 TEST(NetFileRoundTrip, AnonymousNodesGetNames) {

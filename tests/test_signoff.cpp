@@ -15,7 +15,7 @@
 #include "common/test_nets.hpp"
 #include "core/tool.hpp"
 #include "netgen/netgen.hpp"
-#include "signoff/json.hpp"
+#include "util/json.hpp"
 #include "signoff/signoff.hpp"
 #include "signoff/workload.hpp"
 

@@ -33,6 +33,14 @@
 //   --kernel K        fast (default) | reference — Van Ginneken DP kernel
 //                     (reference is the pre-optimization oracle; results
 //                     are bit-identical either way)
+//   --trace FILE      record trace spans around the run and write Chrome
+//                     Trace Event JSON (open in Perfetto / chrome://tracing;
+//                     docs/observability.md) plus print a per-phase wall
+//                     time breakdown table
+//   --trace-level L   phase (default) | detail — detail adds the inner DP
+//                     spans (per prune/merge/wire step; large traces)
+//   --metrics FILE    write an nbuf-metrics-v1 JSON snapshot (batch + DP
+//                     counters are bit-identical at any --threads value)
 //
 //   nbuf_cli signoff (--dir DIR | --netgen N) [options]
 //
@@ -42,7 +50,9 @@
 //   violations plus metric-vs-golden pessimism statistics.
 //
 //   --dir/--netgen/--seed/--threads/--mode/--max-buffers/--segment/--kernel
-//                     as for `batch`
+//   --trace/--trace-level/--metrics
+//                     as for `batch` (the trace covers both the optimize
+//                     and the verify pass)
 //   --json FILE       write the full JSON report (docs/signoff.md schema)
 //   --leaves          include per-leaf rows in the JSON (large)
 //   --tol-noise MV    noise-slack grace in millivolt (default 0 = exact)
@@ -66,12 +76,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 
 #include "batch/batch.hpp"
 #include "core/alg2_multi_sink.hpp"
 #include "core/tool.hpp"
 #include "io/netfile.hpp"
+#include "obs/export.hpp"
 #include "sim/golden.hpp"
 #include "signoff/workload.hpp"
 #include "util/stats.hpp"
@@ -144,7 +156,9 @@ int usage(const char* argv0) {
                "[--golden] [-o out.net]\n"
                "       %s batch (--dir DIR | --netgen N) [--seed S] "
                "[--threads T] [--mode buffopt|delayopt] [--max-buffers K] "
-               "[--segment UM] [--stats] [--kernel fast|reference]\n"
+               "[--segment UM] [--stats] [--kernel fast|reference] "
+               "[--trace FILE] [--trace-level phase|detail] "
+               "[--metrics FILE]\n"
                "       %s signoff (--dir DIR | --netgen N) [batch options] "
                "[--json FILE] [--leaves] [--tol-noise MV] [--tol-timing PS] "
                "[--tol-bound MV] [--convergence]\n",
@@ -215,6 +229,9 @@ struct BatchArgs {
   double segment = 500.0;
   bool stats = false;
   std::string kernel = "fast";
+  std::string trace;                 // Chrome trace JSON path (empty = off)
+  std::string trace_level = "phase"; // phase | detail
+  std::string metrics;               // nbuf-metrics-v1 JSON path
 };
 
 // Options only the signoff subcommand accepts, on top of BatchArgs.
@@ -278,6 +295,18 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args,
       const char* v = value();
       if (!v) return false;
       args.kernel = v;
+    } else if (a == "--trace") {
+      const char* v = value();
+      if (!v) return false;
+      args.trace = v;
+    } else if (a == "--trace-level") {
+      const char* v = value();
+      if (!v) return false;
+      args.trace_level = v;
+    } else if (a == "--metrics") {
+      const char* v = value();
+      if (!v) return false;
+      args.metrics = v;
     } else {
       std::fprintf(stderr, "unknown batch option %s\n", a.c_str());
       return false;
@@ -285,6 +314,10 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args,
   }
   if (args.mode != "buffopt" && args.mode != "delayopt") return false;
   if (args.kernel != "fast" && args.kernel != "reference") return false;
+  if (args.trace_level != "phase" && args.trace_level != "detail") {
+    std::fprintf(stderr, "--trace-level must be phase or detail\n");
+    return false;
+  }
   if (args.max_buffers == 0) {
     std::fprintf(stderr, "--max-buffers must be at least 1\n");
     return false;
@@ -343,6 +376,34 @@ batch::BatchOptions engine_options(const BatchArgs& args) {
   return opt;
 }
 
+obs::TraceLevel trace_level_of(const BatchArgs& args) {
+  return args.trace_level == "detail" ? obs::TraceLevel::Detail
+                                      : obs::TraceLevel::Phase;
+}
+
+// Shared by --trace/--metrics/--json writers: an unwritable path is a
+// usage error (exit 2), same as an unreadable input.
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << body << '\n';
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+void print_phase_table(const obs::TraceData& trace) {
+  const std::vector<obs::PhaseRow> rows = obs::phase_breakdown(trace);
+  if (rows.empty()) return;
+  util::Table t({"span", "count", "total ms"});
+  for (const obs::PhaseRow& r : rows)
+    t.add_row({r.name, util::Table::integer(static_cast<long long>(r.count)),
+               util::Table::num(r.seconds * 1e3, 3)});
+  std::fputs(t.render().c_str(), stdout);
+}
+
 }  // namespace
 
 int batch_main(int argc, char** argv) {
@@ -359,7 +420,16 @@ int batch_main(int argc, char** argv) {
 
   std::printf("batch: %zu nets, %zu thread(s), mode %s\n", nets.size(),
               engine.thread_count(), args.mode.c_str());
+  // The recording must bracket the worker pool: started before the pool
+  // spawns, stopped after it joins (src/obs/trace.hpp threading contract).
+  std::optional<obs::TraceRecording> rec;
+  if (!args.trace.empty()) rec.emplace(trace_level_of(args));
   const batch::BatchResult res = engine.run(nets, library);
+  obs::TraceData trace;
+  if (rec) {
+    trace = rec->stop();
+    rec.reset();
+  }
   const batch::BatchSummary& s = res.summary;
   std::printf("throughput: %.1f nets/sec (wall %.3f s, dp %.3f s)\n",
               s.nets_per_second(), s.wall_seconds, s.dp_seconds);
@@ -397,6 +467,19 @@ int batch_main(int argc, char** argv) {
   if (args.stats)
     std::printf("vgstats: %s\n", util::format(s.stats).c_str());
 
+  if (!args.trace.empty()) {
+    print_phase_table(trace);
+    if (!write_text_file(args.trace, obs::chrome_trace_json(trace)))
+      return kExitUsage;
+  }
+  if (!args.metrics.empty()) {
+    obs::MetricsRegistry reg;
+    batch::record_metrics(reg, s);
+    if (!args.trace.empty()) obs::record_trace(reg, trace);
+    if (!write_text_file(args.metrics, obs::metrics_json(reg.snapshot())))
+      return kExitUsage;
+  }
+
   const bool clean =
       s.feasible == s.net_count && s.noise_clean_after == s.net_count;
   return clean ? kExitClean : kExitViolations;
@@ -416,6 +499,10 @@ int signoff_main(int argc, char** argv) {
   const batch::BatchEngine engine(engine_options(args));
   std::printf("signoff: %zu nets, %zu thread(s), mode %s\n", nets.size(),
               engine.thread_count(), args.mode.c_str());
+  // One recording spans both passes, so the trace shows optimize and
+  // verify side by side; started/stopped outside both worker pools.
+  std::optional<obs::TraceRecording> rec;
+  if (!args.trace.empty()) rec.emplace(trace_level_of(args));
   const batch::BatchResult res = engine.run(nets, library);
   std::printf("%-22s %.1f nets/sec (wall %.3f s)\n",
               "optimize:", res.summary.nets_per_second(),
@@ -430,6 +517,11 @@ int signoff_main(int argc, char** argv) {
   wopt.signoff.tol.bound_slop = so.tol_bound_mv * mV;
   const signoff::WorkloadSignoff w =
       signoff::run_workload(nets, res.results, library, wopt);
+  obs::TraceData trace;
+  if (rec) {
+    trace = rec->stop();
+    rec.reset();
+  }
 
   std::printf("%-22s %.1f nets/sec (wall %.3f s)\n",
               "verify:", w.nets_per_second(), w.wall_seconds);
@@ -472,14 +564,23 @@ int signoff_main(int argc, char** argv) {
     std::fputs(t.render().c_str(), stdout);
   }
 
-  if (!so.json.empty()) {
-    std::ofstream out(so.json);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", so.json.c_str());
+  if (!args.trace.empty()) {
+    print_phase_table(trace);
+    if (!write_text_file(args.trace, obs::chrome_trace_json(trace)))
       return kExitUsage;
-    }
-    out << signoff::to_json(w, so.leaves) << '\n';
-    std::printf("wrote %s\n", so.json.c_str());
+  }
+  if (!args.metrics.empty()) {
+    obs::MetricsRegistry reg;
+    batch::record_metrics(reg, res.summary);
+    signoff::record_metrics(reg, w);
+    if (!args.trace.empty()) obs::record_trace(reg, trace);
+    if (!write_text_file(args.metrics, obs::metrics_json(reg.snapshot())))
+      return kExitUsage;
+  }
+
+  if (!so.json.empty()) {
+    if (!write_text_file(so.json, signoff::to_json(w, so.leaves)))
+      return kExitUsage;
   }
 
   std::printf("verdict: %s\n", w.pass() ? "PASS" : "FAIL");
