@@ -12,7 +12,13 @@ lib::BufferId noise_buffer_choice(const lib::BufferLibrary& lib) {
   for (lib::BufferId id : lib.ids()) {
     const lib::BufferType& t = lib.at(id);
     if (t.inverting) continue;
-    if (!best.valid() || t.resistance < lib.at(best).resistance) best = id;
+    // Smallest resistance; exact ties break on name so the same library
+    // presented in any insertion order picks the same type (ids are
+    // permutation-dependent, names are unique).
+    if (!best.valid() || t.resistance < lib.at(best).resistance ||
+        (t.resistance == lib.at(best).resistance &&
+         t.name < lib.at(best).name))
+      best = id;
   }
   if (best.valid()) return best;
   return lib.strongest();  // inverting-only library: caller's responsibility

@@ -26,7 +26,9 @@ namespace nbuf::core {
 struct NoiseAvoidanceOptions {
   // Buffer type to insert; defaults to the smallest-resistance
   // non-inverting type (or smallest-resistance overall if the library has
-  // no non-inverting member).
+  // no non-inverting member). Exact resistance ties break on the type
+  // name, so the default choice is the same for any permutation of the
+  // same library.
   std::optional<lib::BufferId> buffer_type;
 };
 

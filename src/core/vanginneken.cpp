@@ -26,7 +26,9 @@ class VgRun {
  public:
   VgRun(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
         const VgOptions& opt)
-      : tree_(tree), lib_(lib), opt_(opt) {}
+      : tree_(tree), lib_(lib), opt_(opt) {
+    stats_.lib_types = lib_.size();
+  }
 
   VgResult run();
 
@@ -167,6 +169,19 @@ void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
           }
         }
         if (best == nullptr) continue;
+        note_created(1);
+        // Dominated at birth: the pre-insertion staircase of the target
+        // bucket already holds a candidate at most as loaded and at least
+        // as slack-rich, so the post-insertion prune below would delete
+        // this one unconditionally. Book the generate+prune pair without
+        // materializing a plan node.
+        const CandList& target = before.by_phase[out_phase][k + cost];
+        if (opt_.prune_candidates &&
+            detail::dominated_by_staircase(target.data(), target.size(),
+                                           b.input_cap, best_q)) {
+          ++stats_.pruned_inferior;
+          continue;
+        }
         VgCand nc;
         nc.load = b.input_cap;
         nc.slack = best_q;
@@ -180,7 +195,6 @@ void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
       for (std::size_t k = 0; k < additions.size(); ++k) {
         if (!has[k]) continue;
         lists.by_phase[out_phase][k].push_back(additions[k]);
-        note_created(1);
       }
     }
   }
@@ -374,6 +388,7 @@ VgResult finalize(const NodeLists& at_source, const rct::RoutingTree& tree,
 VgResult optimize(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
                   const VgOptions& options) {
   NBUF_TRACE_SPAN_TAGGED("vg.optimize", tree.node_count());
+  NBUF_TRACE_DETAIL_TAGGED("vg.lib_types", lib.size());
   NBUF_EXPECTS_MSG(tree.is_binary(), "call tree.binarize() first");
   NBUF_EXPECTS_MSG(!lib.empty(), "empty buffer library");
   NBUF_EXPECTS(options.max_buffers >= 1);

@@ -56,8 +56,14 @@ class FastVgRun {
       : tree_(tree),
         lib_(lib),
         opt_(opt),
-        sizing_(!opt.wire_widths.empty()) {
+        sizing_(!opt.wire_widths.empty()),
+        type_order_(TypeOrder::make(lib)) {
     for (auto& sizes : view_sizes_) sizes.resize(opt_.max_buffers + 1, 0);
+    min_cost_ = 1;
+    if (!opt_.buffer_costs.empty())
+      min_cost_ = *std::min_element(opt_.buffer_costs.begin(),
+                                    opt_.buffer_costs.end());
+    stats_.lib_types = lib_.size();
   }
 
   VgResult run();
@@ -74,6 +80,8 @@ class FastVgRun {
   void flush(Lists& lists);
   void extend_wire(Lists& lists, rct::NodeId child);
   void insert_buffers(Lists& lists, rct::NodeId v);
+  void insert_buffers_naive(Lists& lists, rct::NodeId v);
+  void insert_buffers_best_pred(Lists& lists, rct::NodeId v);
   Lists merge(Lists l, Lists r);
 
   void apply_wire_and_prune(CandList& list, const rct::Wire& w);
@@ -98,6 +106,13 @@ class FastVgRun {
   // Pre-insertion bucket sizes of the node currently in insert_buffers:
   // the read views that replace the seed kernel's NodeLists deep copy.
   std::array<std::vector<std::size_t>, 2> view_sizes_;
+  // Li–Shi best-predecessor machinery: the resistance-descending type walk
+  // order, the per-bucket hull structure, and each type's chosen
+  // predecessor for the bucket currently being processed.
+  TypeOrder type_order_;
+  BestPredecessors bp_;
+  std::vector<BestPredecessors::Choice> chosen_;
+  std::size_t min_cost_ = 1;
   util::VgStats stats_;
 };
 
@@ -279,6 +294,27 @@ void FastVgRun::insert_buffers(Lists& lists, rct::NodeId v) {
       stats_.snapshot_cands_avoided += n;
     }
   }
+  if (opt_.prune_candidates) {
+    insert_buffers_best_pred(lists, v);
+  } else {
+    // Ablation mode: without dominance pruning the lists are not Pareto
+    // staircases, so the hull structure does not apply.
+    insert_buffers_naive(lists, v);
+  }
+  const std::size_t bucket_count = opt_.max_buffers + 1;
+  for (int phase = 0; phase < 2; ++phase) {
+    for (std::size_t k = 0; k < bucket_count; ++k) {
+      CandList& list = lists.node.by_phase[phase][k];
+      const std::size_t prefix = view_sizes_[phase][k];
+      if (list.size() == prefix) continue;  // untouched: still Pareto-sorted
+      merge_tail_and_prune(list, prefix);
+    }
+  }
+}
+
+// The seed scan: every type reads every candidate of every bucket, O(b·m)
+// per bucket. Kept for the prune_candidates=false ablation only.
+void FastVgRun::insert_buffers_naive(Lists& lists, rct::NodeId v) {
   const std::size_t bucket_count = opt_.max_buffers + 1;
   for (lib::BufferId bid : lib_.ids()) {
     const lib::BufferType& b = lib_.at(bid);
@@ -323,12 +359,66 @@ void FastVgRun::insert_buffers(Lists& lists, rct::NodeId v) {
       }
     }
   }
-  for (int phase = 0; phase < 2; ++phase) {
-    for (std::size_t k = 0; k < bucket_count; ++k) {
-      CandList& list = lists.node.by_phase[phase][k];
-      const std::size_t prefix = view_sizes_[phase][k];
-      if (list.size() == prefix) continue;  // untouched: still Pareto-sorted
-      merge_tail_and_prune(list, prefix);
+}
+
+// Li–Shi insertion (the default): bucket-major so each bucket's hull
+// structure is built once and every type's best predecessor comes from a
+// monotone walk over it — O(m + b) per bucket instead of the naive O(b·m).
+// New candidates are buffered per type and appended in library-id order:
+// the reference kernel emits types in that order and the tail sort is not
+// stable, so the append order is part of the bit-identity contract.
+void FastVgRun::insert_buffers_best_pred(Lists& lists, rct::NodeId v) {
+  const std::size_t bucket_count = opt_.max_buffers + 1;
+  const std::size_t type_count = lib_.size();
+  for (int in_phase = 0; in_phase < 2; ++in_phase) {
+    auto& buckets = lists.node.by_phase[in_phase];
+    for (std::size_t k = 0; k + min_cost_ < bucket_count; ++k) {
+      const std::size_t view_n = view_sizes_[in_phase][k];
+      if (view_n == 0) continue;
+      bp_.prepare(buckets[k].data(), view_n, opt_, lib_, type_order_);
+      ++stats_.bp_prune_calls;
+      stats_.bp_candidates_killed += bp_.killed();
+      chosen_.assign(type_count, {});
+      for (std::size_t pos = 0; pos < type_count; ++pos) {
+        const lib::BufferId bid = type_order_.ids[pos];
+        const std::size_t cost =
+            opt_.buffer_costs.empty() ? 1 : opt_.buffer_costs[bid.value()];
+        if (k + cost >= bucket_count) continue;
+        chosen_[bid.value()] = bp_.select(lib_.at(bid), pos);
+      }
+      for (std::size_t t = 0; t < type_count; ++t) {
+        const BestPredecessors::Choice& ch = chosen_[t];
+        if (ch.cand == nullptr) continue;
+        const lib::BufferId bid{
+            static_cast<lib::BufferId::underlying_type>(t)};
+        const lib::BufferType& b = lib_.at(bid);
+        const std::size_t cost =
+            opt_.buffer_costs.empty() ? 1 : opt_.buffer_costs[t];
+        const int out_phase = b.inverting ? 1 - in_phase : in_phase;
+        note_created(1);
+        // Dominated at birth: the target bucket's pre-insertion staircase
+        // (its read view — exactly what the reference kernel snapshots)
+        // guarantees the next merge_tail_and_prune would delete this
+        // candidate, so book the generate+prune pair and skip the arena
+        // node, the append, and the merge churn. The reference kernel
+        // applies the same predicate against the same view, keeping the
+        // kernels bit-identical.
+        CandList& target = lists.node.by_phase[out_phase][k + cost];
+        if (dominated_by_staircase(target.data(),
+                                   view_sizes_[out_phase][k + cost],
+                                   b.input_cap, ch.q)) {
+          ++stats_.pruned_inferior;
+          continue;
+        }
+        VgCand nc;
+        nc.load = b.input_cap;
+        nc.slack = ch.q;
+        nc.current = 0.0;
+        nc.noise_slack = b.noise_margin;
+        nc.dhat = 0.0;  // restoring gate: a fresh stage begins
+        nc.plan = arena_.buffer(ch.cand->plan, PlannedBuffer{v, 0.0, bid});
+        target.push_back(nc);
+      }
     }
   }
 }
@@ -450,6 +540,145 @@ VgResult FastVgRun::run() {
 }
 
 }  // namespace
+
+TypeOrder TypeOrder::make(const lib::BufferLibrary& lib) {
+  TypeOrder order;
+  order.ids = lib.ids();
+  // Resistance descending; stable so equal-R types keep library-id order
+  // (their feasibility predicates and hull walks are then interchangeable).
+  std::stable_sort(order.ids.begin(), order.ids.end(),
+                   [&lib](lib::BufferId a, lib::BufferId b) {
+                     return lib.at(a).resistance > lib.at(b).resistance;
+                   });
+  return order;
+}
+
+void BestPredecessors::prepare(const VgCand* cands, std::size_t n,
+                               const VgOptions& opt,
+                               const lib::BufferLibrary& lib,
+                               const TypeOrder& order) {
+  cands_ = cands;
+  hull_.clear();
+  groups_.clear();
+  active_ = 0;
+  killed_ = 0;
+  const std::size_t m = order.ids.size();
+  const bool noise = opt.noise_constraints;
+  const bool slew = opt.max_slew < std::numeric_limits<double>::infinity();
+  // Feasibility of inserting the type at walk position `pos` on top of `c`,
+  // with the kernels' exact threshold comparisons (never rearranged: the
+  // binary search must agree bit-for-bit with the naive scan's skips).
+  const auto feasible = [&](const VgCand& c, std::size_t pos) {
+    const double r = lib.at(order.ids[pos]).resistance;
+    if (noise && r * c.current > c.noise_slack) return false;
+    return !(elmore::kSlewFactor * (r * c.load + c.dhat) > opt.max_slew);
+  };
+  tmin_.assign(n, 0);
+  if (noise || slew) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const VgCand& c = cands[i];
+      if (feasible(c, 0)) continue;  // the common case: tmin stays 0
+      // Both thresholds are products monotone in R under IEEE rounding, so
+      // along the R-descending walk order the feasible types form a suffix:
+      // binary-search its first position (m = feasible for no type).
+      std::size_t lo = 1, hi = m;
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (feasible(c, mid)) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      tmin_[i] = lo;
+    }
+  }
+  // Counting-bucket the candidates by first feasible type. Each group is a
+  // subsequence of the bucket's Pareto staircase — itself a staircase — so
+  // iterating candidates in index order fills every group in index order.
+  counts_.assign(m + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++counts_[tmin_[i]];
+  std::size_t offset = 0;
+  for (std::size_t t = 0; t <= m; ++t) {
+    const std::size_t c = counts_[t];
+    counts_[t] = offset;
+    offset += c;
+  }
+  sorted_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) sorted_[counts_[tmin_[i]]++] = i;
+  // counts_[t] now holds the END of group t's slice; group t's candidates
+  // sit in sorted_[counts_[t-1], counts_[t]). Upper-hull each nonempty
+  // group (t == m means feasible for no type: those candidates are dead).
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < m; ++t) {
+    const std::size_t end = counts_[t];
+    if (end == begin) continue;
+    Group grp;
+    grp.first_type = t;
+    grp.begin = hull_.size();
+    stack_.clear();
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::size_t idx = sorted_[s];
+      const VgCand& p = cands[idx];
+      // Keep the upper concave chain of the (load, slack) points. Pop only
+      // when the middle point is STRICTLY below the new chord: a collinear
+      // point can still win an exact-q tie by its smaller index, so it must
+      // survive; a strictly-below point loses to a chord endpoint at every
+      // R and can never be any type's best predecessor.
+      while (stack_.size() >= 2) {
+        const VgCand& a = cands[stack_[stack_.size() - 2]];
+        const VgCand& b = cands[stack_[stack_.size() - 1]];
+        const double cross = (b.load - a.load) * (p.slack - a.slack) -
+                             (b.slack - a.slack) * (p.load - a.load);
+        if (cross > 0.0) {
+          stack_.pop_back();
+        } else {
+          break;
+        }
+      }
+      stack_.push_back(idx);
+    }
+    hull_.insert(hull_.end(), stack_.begin(), stack_.end());
+    grp.end = hull_.size();
+    grp.ptr = grp.begin;
+    groups_.push_back(grp);
+    begin = end;
+  }
+  killed_ = n - hull_.size();
+}
+
+BestPredecessors::Choice BestPredecessors::select(const lib::BufferType& type,
+                                                  std::size_t pos) {
+  // Activate the groups whose first feasible type the walk has reached
+  // (groups_ ascends by first_type; pos strictly increases between calls).
+  while (active_ < groups_.size() && groups_[active_].first_type <= pos)
+    ++active_;
+  const double r = type.resistance;
+  const double d = type.intrinsic_delay;
+  Choice best;
+  std::size_t best_idx = 0;
+  for (std::size_t gi = 0; gi < active_; ++gi) {
+    Group& g = groups_[gi];
+    const auto q_at = [&](std::size_t h) {
+      const VgCand& c = cands_[hull_[h]];
+      return c.slack - d - r * c.load;  // the reference's exact expression
+    };
+    // Monotone walk: as R shrinks the maximizer moves toward larger loads,
+    // so the pointer never backs up. Advance only on strictly greater q:
+    // the walk then stops on the FIRST point of an equal-q plateau, which
+    // is the reference scan's first-wins tie-break.
+    while (g.ptr + 1 < g.end && q_at(g.ptr + 1) > q_at(g.ptr)) ++g.ptr;
+    const double q = q_at(g.ptr);
+    const std::size_t idx = hull_[g.ptr];
+    if (best.cand == nullptr || q > best.q ||
+        (q == best.q && idx < best_idx)) {
+      best.cand = &cands_[idx];
+      best.q = q;
+      best_idx = idx;
+    }
+  }
+  return best;
+}
 
 VgResult run_fast_kernel(const rct::RoutingTree& tree,
                          const lib::BufferLibrary& lib,

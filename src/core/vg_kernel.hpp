@@ -64,11 +64,84 @@ struct NodeLists {
   }
 };
 
+// Content comparison of two solution DAGs, three-way (-1/0/+1). Pointer
+// equality short-circuits shared structure (candidates in one list mostly
+// share deep prefixes); otherwise cells compare by kind, payload, then
+// predecessors. Used only to break exact (load, slack) ties in cand_less,
+// so the traversal almost never runs and never runs deep.
+inline int plan_compare(const PlanCell* a, const PlanCell* b) {
+  if (a == b) return 0;  // same arena cell: identical content
+  if (a == nullptr) return -1;
+  if (b == nullptr) return 1;
+  if (a->kind != b->kind) return a->kind < b->kind ? -1 : 1;
+  switch (a->kind) {
+    case PlanCell::Kind::Buffer: {
+      const PlannedBuffer& pa = a->placement;
+      const PlannedBuffer& pb = b->placement;
+      if (pa.node != pb.node) return pa.node < pb.node ? -1 : 1;
+      if (pa.dist_above != pb.dist_above)
+        return pa.dist_above < pb.dist_above ? -1 : 1;
+      if (pa.type != pb.type) return pa.type < pb.type ? -1 : 1;
+      break;
+    }
+    case PlanCell::Kind::Wire: {
+      if (a->wire.node != b->wire.node)
+        return a->wire.node < b->wire.node ? -1 : 1;
+      if (a->wire.width != b->wire.width)
+        return a->wire.width < b->wire.width ? -1 : 1;
+      break;
+    }
+    case PlanCell::Kind::Merge: {
+      const int right = plan_compare(a->b, b->b);
+      if (right != 0) return right;
+      break;
+    }
+  }
+  return plan_compare(a->a, b->a);
+}
+
 // The prune order of both kernels: load ascending, slack descending on
-// ties, so the first candidate of an equal-load run carries the best slack.
+// ties. The remaining fields make the order TOTAL: exact (load, slack)
+// ties genuinely occur (uniform 500 µm segmentation gives symmetric
+// placements bit-identical keys), and with only a partial order each
+// kernel's unstable sort could keep a different survivor of the tied run —
+// breaking Fast-vs-Reference bit-identity of the reported plans. Ties
+// prefer the more robust candidate (higher noise slack, lower coupling
+// current, lower stage delay) and fall back to plan content, which two
+// distinct candidates cannot share.
 inline bool cand_less(const VgCand& a, const VgCand& b) {
   if (a.load != b.load) return a.load < b.load;
-  return a.slack > b.slack;
+  if (a.slack != b.slack) return a.slack > b.slack;
+  if (a.noise_slack != b.noise_slack) return a.noise_slack > b.noise_slack;
+  if (a.current != b.current) return a.current < b.current;
+  if (a.dhat != b.dhat) return a.dhat < b.dhat;
+  return plan_compare(a.plan, b.plan) < 0;
+}
+
+// True when a would-be candidate (load, slack) is dominated by a pruned
+// staircase view: some view entry has load <= `load` and slack >= `slack`.
+// Such a candidate is removed as inferior by the very next prune no matter
+// what else reaches that bucket (its dominator — or whatever pruned the
+// dominator — keeps the running best slack at or above `slack` when the
+// scan arrives), so both kernels skip materializing it and book it as
+// generated-then-pruned directly. A staircase has strictly increasing
+// loads AND slacks, so the only possible dominator is the last entry with
+// load <= `load`; one binary search decides. Only valid under
+// VgOptions::prune_candidates — without dominance pruning nothing may be
+// dropped.
+[[nodiscard]] inline bool dominated_by_staircase(const VgCand* view,
+                                                 std::size_t n, double load,
+                                                 double slack) {
+  std::size_t lo = 0, hi = n;  // lower_bound: first entry with load > `load`
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (view[mid].load <= load) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo > 0 && view[lo - 1].slack >= slack;
 }
 
 // Full structural verification of one post-prune candidate list — the
@@ -89,6 +162,82 @@ void verify_cand_list(const CandList& list, const VgOptions& opt);
 inline bool verify_lists_enabled(const VgOptions& opt) {
   return NBUF_STRUCTURAL_CHECKS != 0 || opt.check_invariants;
 }
+
+// Buffer-type walk order of the Li–Shi best-predecessor structure: type
+// positions sorted by output resistance descending (ties keep id order).
+// Built once per DP run; BestPredecessors::select must be queried in this
+// order so its hull pointers only ever move forward.
+struct TypeOrder {
+  std::vector<lib::BufferId> ids;  // position -> library id
+
+  [[nodiscard]] static TypeOrder make(const lib::BufferLibrary& lib);
+};
+
+// Li–Shi best-predecessor pruning (arXiv:0710.4691, PAPERS.md): the heart
+// of the O(b·n²) multi-type insertion step. For buffer type t with output
+// resistance R the best predecessor in a bucket maximizes q = s − D_t − R·C
+// over the bucket's candidates; on a pruned Pareto staircase (loads and
+// slacks strictly ascending) the maximizer always lies on the upper convex
+// hull of the (load, slack) points, and as R shrinks it only ever moves
+// toward larger loads. prepare() builds that hull once per bucket — with
+// noise/slew constraints on, one hull per group of candidates sharing the
+// same "first feasible type" (feasibility is monotone in R, so each
+// candidate's feasible types are a suffix of the walk order, found by
+// binary search with the kernels' exact predicates) — and select() answers
+// every type's query by a monotone pointer walk: O(m·log b + m + b·G)
+// per bucket against the naive scan's O(b·m), with G = 1 when neither
+// noise nor slew constraints are active.
+//
+// Bit-identity with the naive scan (the reference kernel) is preserved by
+// construction: q is evaluated with the reference's exact expression, the
+// walk advances only on strictly greater q so it stops on the FIRST point
+// of an equal-q plateau (the reference's first-wins tie-break), collinear
+// hull points are kept (an exact tie can only be resolved toward the
+// smaller index if the point is still there), and the feasibility binary
+// search reuses the reference's exact threshold comparisons. Candidates
+// strictly below the hull lose to a hull point at every R, so excluding
+// them can never change the argmax. The one theoretical gap: floating-
+// point q values along a hull are concave only up to rounding, so a walk
+// could in principle stop one ulp early where the naive scan crawls on;
+// tests/test_library_kernel.cpp fuzzes for exactly that.
+class BestPredecessors {
+ public:
+  // Builds the structure over the first `n` candidates of `cands`, which
+  // must form a pruned Pareto staircase in cand_less order.
+  void prepare(const VgCand* cands, std::size_t n, const VgOptions& opt,
+               const lib::BufferLibrary& lib, const TypeOrder& order);
+
+  struct Choice {
+    const VgCand* cand = nullptr;  // best predecessor; null if none feasible
+    double q = 0.0;                // its resulting slack for this type
+  };
+  // The candidate the naive scan would pick for the type at walk position
+  // `pos` (strictly increasing between prepare() calls).
+  [[nodiscard]] Choice select(const lib::BufferType& type, std::size_t pos);
+
+  // Candidates of the last prepare() that can never be any type's best
+  // predecessor: strictly below their group's hull, or infeasible (noise/
+  // slew) for every type in the library.
+  [[nodiscard]] std::size_t killed() const noexcept { return killed_; }
+
+ private:
+  struct Group {
+    std::size_t first_type = 0;  // t_min shared by the group's candidates
+    std::size_t begin = 0;       // [begin, end) into hull_
+    std::size_t end = 0;
+    std::size_t ptr = 0;         // monotone walk position
+  };
+
+  const VgCand* cands_ = nullptr;
+  std::vector<std::size_t> hull_;   // candidate indices, grouped
+  std::vector<Group> groups_;       // ascending first_type
+  std::size_t active_ = 0;          // groups with first_type <= current pos
+  std::size_t killed_ = 0;
+  std::vector<std::size_t> tmin_;    // scratch: per-candidate first type
+  std::vector<std::size_t> counts_;  // scratch: counting-sort offsets
+  std::vector<std::size_t> sorted_;  // scratch: candidates grouped by tmin
+  std::vector<std::size_t> stack_;   // scratch: hull build
+};
 
 // Driver fold (Fig. 10 Steps 2-4) and objective selection, shared verbatim
 // by both kernels so a kernel difference can only come from the DP itself.

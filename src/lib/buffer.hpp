@@ -10,7 +10,9 @@
 // reproduces that shape for a 0.25 µm-class process.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/strong_id.hpp"
@@ -50,7 +52,14 @@ class BufferLibrary {
   // Every id, in insertion order.
   [[nodiscard]] std::vector<BufferId> ids() const;
 
-  // The buffer with smallest output resistance. Theorem 1's observation:
+  // Id of the type with the given name, if any.
+  [[nodiscard]] std::optional<BufferId> find(std::string_view name) const;
+
+  [[nodiscard]] std::size_t inverting_count() const;
+
+  // The buffer with smallest output resistance (exact resistance ties
+  // resolve to the lexicographically smallest name, so the choice is
+  // independent of the library's insertion order). Theorem 1's observation:
   // for pure noise avoidance the smallest-resistance buffer always yields
   // the maximum buffer spacing, so Algorithms 1 and 2 reduce a multi-buffer
   // library to this single type.
@@ -75,5 +84,16 @@ class BufferLibrary {
 // A single mid-strength non-inverting buffer; the configuration under which
 // the paper proves optimality of all three algorithms.
 [[nodiscard]] BufferLibrary single_buffer_library();
+
+// A synthetic geometric strength ladder of `types` gates for library-size
+// sweeps (the nbuf_cli --lib-size flag and bench/figK_library_scaling):
+// resistances interpolate log-uniformly from ~1.2 kΩ down to ~45 Ω, input
+// caps rise inversely, and the first round(types * inverting_fraction)
+// rungs (spread across the ladder) are inverters. `types` must be >= 1;
+// inverting_fraction in [0, 1) — at least one rung stays non-inverting.
+// Every resistance and input cap is strictly distinct, so candidate
+// tie-break order never depends on the kernel's unstable sorts.
+[[nodiscard]] BufferLibrary make_ladder_library(std::size_t types,
+                                                double inverting_fraction);
 
 }  // namespace nbuf::lib

@@ -91,6 +91,9 @@ void record_vg_stats(MetricsRegistry& reg, const util::VgStats& stats) {
   reg.counter("vg.offset_flushes").add(stats.offset_flushes);
   reg.counter("vg.snapshot_cands_avoided").add(stats.snapshot_cands_avoided);
   reg.counter("vg.pool_reuses").add(stats.pool_reuses);
+  reg.counter("vg.bp_prune_calls").add(stats.bp_prune_calls);
+  reg.counter("vg.bp_candidates_killed").add(stats.bp_candidates_killed);
+  reg.gauge("lib.types").set(static_cast<double>(stats.lib_types));
   reg.histogram("vg.peak_list_size").observe(stats.peak_list_size);
   reg.gauge("vg.wire_seconds").add(stats.wire_seconds);
   reg.gauge("vg.buffer_seconds").add(stats.buffer_seconds);

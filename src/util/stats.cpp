@@ -25,6 +25,12 @@ std::string format(const VgStats& s) {
                   s.offset_flushes, s.snapshot_cands_avoided, s.pool_reuses);
     out += buf;
   }
+  if (s.bp_prune_calls > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "; lib types %zu, best-pred preps %zu, bp killed %zu",
+                  s.lib_types, s.bp_prune_calls, s.bp_candidates_killed);
+    out += buf;
+  }
   const double timed = s.wire_seconds + s.buffer_seconds + s.merge_seconds;
   if (timed > 0.0) {
     std::snprintf(buf, sizeof buf,

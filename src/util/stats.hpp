@@ -34,6 +34,15 @@ struct VgStats {
   std::size_t snapshot_cands_avoided = 0;  // candidates NOT deep-copied at
                                            // buffer insertion (read views)
   std::size_t pool_reuses = 0;  // candidate-list buffers recycled
+  // Li–Shi best-predecessor counters (fast kernel, PR 6). With b buffer
+  // types the naive insertion step scans every candidate once per type
+  // (O(b·m) per bucket); the fast kernel builds one convex-hull structure
+  // per bucket and answers all b queries from it (O(m + b)). These record
+  // how many buckets were prepared and how many candidates the hull proved
+  // can never be any type's best predecessor.
+  std::size_t bp_prune_calls = 0;        // best-predecessor preparations
+  std::size_t bp_candidates_killed = 0;  // hull-dominated or type-infeasible
+  std::size_t lib_types = 0;             // buffer-library size seen (max)
 
   // Per-phase wall time (seconds); zero unless timing was requested.
   double wire_seconds = 0.0;    // extend-candidates-through-wire phase
@@ -54,6 +63,9 @@ struct VgStats {
     offset_flushes += o.offset_flushes;
     snapshot_cands_avoided += o.snapshot_cands_avoided;
     pool_reuses += o.pool_reuses;
+    bp_prune_calls += o.bp_prune_calls;
+    bp_candidates_killed += o.bp_candidates_killed;
+    lib_types = lib_types < o.lib_types ? o.lib_types : lib_types;
     wire_seconds += o.wire_seconds;
     buffer_seconds += o.buffer_seconds;
     merge_seconds += o.merge_seconds;
@@ -73,7 +85,10 @@ struct VgStats {
            prune_sorts_skipped == o.prune_sorts_skipped &&
            offset_flushes == o.offset_flushes &&
            snapshot_cands_avoided == o.snapshot_cands_avoided &&
-           pool_reuses == o.pool_reuses;
+           pool_reuses == o.pool_reuses &&
+           bp_prune_calls == o.bp_prune_calls &&
+           bp_candidates_killed == o.bp_candidates_killed &&
+           lib_types == o.lib_types;
   }
 };
 

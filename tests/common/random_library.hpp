@@ -1,0 +1,73 @@
+// Randomized buffer libraries for the multi-library differential fuzz
+// (tests/test_library_kernel.cpp) and property suites.
+//
+// random_library(seed, types, inverting_fraction) draws `types` buffer
+// types whose resistances are STRICTLY descending and input capacitances
+// STRICTLY ascending — a jittered strength ladder. Strict distinctness is
+// deliberate: both kernels' tail sorts are unstable, so exact (load,
+// slack) ties between candidates of different types are the one place the
+// append-order contract could show through; real libraries do not carry
+// bit-identical R/C pairs, and the fuzz should not either (the exact-tie
+// paths are covered separately by crafted cases). Intrinsic delay and
+// noise margin are free random draws — they do not need distinctness.
+//
+// Each type is inverting with probability `inverting_fraction`; at least
+// one type is always non-inverting, matching the .lib validation rule
+// (Algorithms 1/2 need polarity-preserving repeaters).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lib/buffer.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace nbuf::test {
+
+inline lib::BufferLibrary random_library(std::uint64_t seed,
+                                         std::size_t types,
+                                         double inverting_fraction) {
+  using namespace nbuf::units;
+  util::Rng rng(seed);
+  const double r_hi = rng.uniform(900.0, 1500.0);   // ohm, weakest type
+  const double r_lo = rng.uniform(35.0, 70.0);      // ohm, strongest type
+  const double c_lo = rng.uniform(2.0, 4.0);        // fF, weakest type
+  const double c_hi = rng.uniform(60.0, 110.0);     // fF, strongest type
+
+  // Decide polarities first so the "at least one non-inverting" repair
+  // cannot disturb the R/C draws.
+  std::vector<bool> inverting(types);
+  bool any_plain = false;
+  for (std::size_t i = 0; i < types; ++i) {
+    inverting[i] = rng.chance(inverting_fraction);
+    any_plain = any_plain || !inverting[i];
+  }
+  if (!any_plain) inverting[types - 1] = false;
+
+  lib::BufferLibrary out;
+  for (std::size_t i = 0; i < types; ++i) {
+    // Jittered log-ladder positions: rung i's exponent lands in
+    // (i+0.05, i+0.95)/types, so consecutive rungs can never collide and
+    // R descends / C ascends strictly no matter what the jitter draws.
+    const double tr =
+        (static_cast<double>(i) + rng.uniform(0.05, 0.95)) /
+        static_cast<double>(types);
+    const double tc =
+        (static_cast<double>(i) + rng.uniform(0.05, 0.95)) /
+        static_cast<double>(types);
+    lib::BufferType t;
+    t.name = (inverting[i] ? "rinv" : "rbuf") + std::to_string(i);
+    t.resistance = r_hi * std::pow(r_lo / r_hi, tr);
+    t.input_cap = c_lo * std::pow(c_hi / c_lo, tc) * fF;
+    t.intrinsic_delay = rng.uniform(8.0, 45.0) * ps;
+    t.noise_margin = rng.uniform(0.5, 1.1);
+    t.inverting = inverting[i];
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace nbuf::test

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "common/random_library.hpp"
 #include "common/test_nets.hpp"
 #include "core/alg1_single_sink.hpp"
 #include "core/theory.hpp"
@@ -152,6 +157,63 @@ TEST(Alg1, DefaultChoiceIsSmallestResistanceNonInverting) {
   EXPECT_FALSE(b.inverting);
   for (const auto& t : kLib.types())
     if (!t.inverting) { EXPECT_LE(b.resistance, t.resistance); }
+}
+
+TEST(Alg1, ChoiceAndPlacementsStableUnderLibraryPermutation) {
+  // noise_buffer_choice scans in id order but must pick the same TYPE for
+  // any presentation order of the same library (exact resistance ties
+  // break on the unique name, not the permutation-dependent id), so the
+  // full Algorithm 1 output — count, positions, chosen type — is a
+  // function of the library as a SET. Includes a deliberate resistance tie
+  // to force the name tie-break, the documented-vs-implemented drift this
+  // test pins.
+  const lib::BufferLibrary base = test::random_library(0xA191, 9, 0.4);
+  std::vector<lib::BufferType> types(base.types().begin(),
+                                     base.types().end());
+  // Twin the type the choice rule would pick (smallest-R non-inverting):
+  // same resistance, name sorting after the original, so the tie-break is
+  // genuinely on the winning path in every permutation.
+  std::size_t pick = types.size();
+  for (std::size_t i = 0; i < types.size(); ++i)
+    if (!types[i].inverting &&
+        (pick == types.size() ||
+         types[i].resistance < types[pick].resistance))
+      pick = i;
+  ASSERT_LT(pick, types.size());
+  lib::BufferType twin = types[pick];
+  twin.name = "twin_" + types[pick].name;
+  twin.input_cap = types[pick].input_cap * 1.5;
+  types.push_back(twin);
+
+  auto t = test::long_two_pin(9000.0);
+  std::string chosen_name;
+  std::size_t count = 0;
+  std::vector<std::uint32_t> nodes;
+  const std::size_t n = types.size();
+  for (std::size_t rot = 0; rot < n; ++rot) {
+    SCOPED_TRACE("rotation " + std::to_string(rot));
+    lib::BufferLibrary perm;
+    for (std::size_t i = 0; i < n; ++i) perm.add(types[(i + rot) % n]);
+    const auto res = core::avoid_noise_single_sink(t, perm);
+    ASSERT_GT(res.buffer_count, 0u);
+    const auto entries = res.buffers.entries();
+    std::vector<std::uint32_t> got_nodes;
+    for (const auto& [node, type] : entries) {
+      EXPECT_EQ(perm.at(type).name, perm.at(entries.front().second).name);
+      got_nodes.push_back(node.value());
+    }
+    std::sort(got_nodes.begin(), got_nodes.end());
+    const std::string got_name = perm.at(entries.front().second).name;
+    if (rot == 0) {
+      chosen_name = got_name;
+      count = res.buffer_count;
+      nodes = got_nodes;
+    } else {
+      EXPECT_EQ(got_name, chosen_name);
+      EXPECT_EQ(res.buffer_count, count);
+      EXPECT_EQ(got_nodes, nodes);
+    }
+  }
 }
 
 TEST(Alg1, RejectsMultiSinkTrees) {

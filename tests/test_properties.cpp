@@ -3,6 +3,7 @@
 // parameter space, not just hand-picked cases.
 #include <gtest/gtest.h>
 
+#include "common/random_library.hpp"
 #include "common/test_nets.hpp"
 #include "core/alg1_single_sink.hpp"
 #include "core/alg2_multi_sink.hpp"
@@ -14,6 +15,10 @@
 #include "lib/wire.hpp"
 #include "noise/incremental.hpp"
 #include "noise/pulse.hpp"
+#include "core/vanginneken.hpp"
+#include "core/vg_kernel.hpp"
+#include "netgen/netgen.hpp"
+#include "seg/segment.hpp"
 #include "sim/golden.hpp"
 #include "steiner/steiner.hpp"
 #include "util/rng.hpp"
@@ -301,6 +306,201 @@ TEST_P(ExtensionSweep, IncrementalMatchesAnalyzerOnRandomNets) {
   for (const auto& s : t.sinks())
     EXPECT_NEAR(inc.noise(s.node),
                 rep.sinks[t.node(s.node).sink.value()].noise, 1e-12);
+}
+
+// --- multi-library kernel properties (PR 6) ---------------------------------
+
+TEST(LibraryProperties, SupersetLibraryNeverWorse) {
+  // The DP is exact: every solution expressible with a sub-library is also
+  // expressible (same placements, same arithmetic) with any superset, so
+  // adding buffer types can only preserve feasibility and raise the best
+  // slack — exactly, not within tolerance. Violations would mean pruning
+  // dropped an optimal candidate somewhere.
+  const lib::BufferLibrary sup = test::random_library(0xD00D, 12, 0.4);
+  lib::BufferLibrary sub;
+  for (std::size_t i = 0; i < sup.size(); i += 2)
+    sub.add(sup.at(lib::BufferId{static_cast<lib::BufferId::underlying_type>(i)}));
+
+  netgen::TestbenchOptions gen;
+  gen.net_count = 30;
+  gen.seed = 5107;
+  const auto nets = netgen::generate_testbench(lib::default_library(), gen);
+  std::size_t feasible_subs = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    SCOPED_TRACE(nets[i].name);
+    rct::RoutingTree segmented = nets[i].tree;
+    seg::segment(segmented, {500.0});
+    core::VgOptions opt;
+    opt.noise_constraints = (i % 2 == 0);
+    const auto with_sub = core::optimize(segmented, sub, opt);
+    const auto with_sup = core::optimize(segmented, sup, opt);
+    if (!with_sub.feasible) continue;
+    ++feasible_subs;
+    EXPECT_TRUE(with_sup.feasible);
+    EXPECT_GE(with_sup.slack, with_sub.slack);
+  }
+  EXPECT_GT(feasible_subs, 10u);  // the property was actually exercised
+}
+
+TEST(LibraryProperties, ChosenSolutionsMatchSinkPolarity) {
+  // Polarity invariant: every returned solution drives every sink at the
+  // polarity it asked for — the inverter count on each source->sink path
+  // is even (or odd for require_inverted sinks). The DP enforces this by
+  // construction (only phase-0 source candidates are answers); the check
+  // here is on the OUTPUT plan, so any phase-bookkeeping bug that slips an
+  // odd path through shows up as a user-visible wrong answer.
+  const lib::BufferLibrary library = test::random_library(0xF1F7, 10, 0.6);
+  netgen::TestbenchOptions gen;
+  gen.net_count = 40;
+  gen.seed = 6211;
+  const auto nets = netgen::generate_testbench(lib::default_library(), gen);
+  std::size_t buffered = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    SCOPED_TRACE(nets[i].name);
+    rct::RoutingTree segmented = nets[i].tree;
+    seg::segment(segmented, {500.0});
+    core::VgOptions opt;
+    opt.noise_constraints = (i % 2 == 0);
+    const auto res = core::optimize(segmented, library, opt);
+    if (!res.feasible) continue;
+    if (res.buffer_count > 0) ++buffered;
+    for (const auto& s : segmented.sinks())
+      EXPECT_EQ(res.buffers.inverted_at(segmented, library, s.node),
+                s.require_inverted)
+          << s.name;
+  }
+  EXPECT_GT(buffered, 10u);
+}
+
+TEST(LibraryProperties, InvertedSinkNeedsAnInverter) {
+  // A sink demanding inverted polarity is unreachable without inverting
+  // types (parity can never turn odd)...
+  rct::SinkInfo sink = test::default_sink();
+  sink.require_inverted = true;
+  sink.required_arrival = 5000.0 * ps;
+  const auto net = steiner::make_two_pin(4000.0, test::default_driver(),
+                                         sink, lib::default_technology());
+  rct::RoutingTree segmented = net;
+  seg::segment(segmented, {500.0});
+  core::VgOptions opt;
+  opt.noise_constraints = false;  // isolate polarity from noise feasibility
+
+  const lib::BufferLibrary plain = test::random_library(0xB0B0, 6, 0.0);
+  EXPECT_FALSE(core::optimize(segmented, plain, opt).feasible);
+
+  // ...and with inverters available the chosen solution must use an odd
+  // number of them on the path.
+  const lib::BufferLibrary mixed = test::random_library(0xB0B1, 6, 0.5);
+  const auto res = core::optimize(segmented, mixed, opt);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_TRUE(res.buffers.inverted_at(segmented, mixed,
+                                      segmented.sinks().front().node));
+}
+
+TEST(LibraryProperties, BestPredecessorMatchesNaiveScanOnRandomStaircases) {
+  // Li–Shi pruning soundness, isolated from the DP: on random Pareto
+  // staircases the hull walk must return exactly the candidate the
+  // reference kernel's first-wins linear scan would pick, for every type,
+  // under every feasibility-predicate combination. `q` must match bitwise
+  // (same expression, same operand order).
+  util::Rng rng(0xC0DE5);
+  for (int trial = 0; trial < 160; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::size_t types = 1 + static_cast<std::size_t>(trial % 23);
+    const lib::BufferLibrary library = test::random_library(
+        9000 + static_cast<std::uint64_t>(trial), types, 0.4);
+
+    core::VgOptions opt;
+    opt.noise_constraints = (trial % 2 == 0);
+    if (trial % 3 == 0) opt.max_slew = rng.uniform(80.0, 400.0) * ps;
+
+    // A strict Pareto staircase: loads and slacks strictly ascend.
+    core::detail::CandList cands;
+    double load = rng.uniform(1.0, 30.0) * fF;
+    double slack = rng.uniform(-800.0, 0.0) * ps;
+    const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 39));
+    for (std::size_t i = 0; i < m; ++i) {
+      core::detail::VgCand c;
+      c.load = load;
+      c.slack = slack;
+      c.current = rng.uniform(0.0, 120.0) * uA;
+      c.noise_slack = rng.uniform(0.0, 0.9);
+      c.dhat = rng.uniform(0.0, 300.0) * ps;
+      cands.push_back(c);
+      load += rng.uniform(0.5, 40.0) * fF;
+      slack += rng.uniform(1.0, 120.0) * ps;
+    }
+
+    const core::detail::TypeOrder order = core::detail::TypeOrder::make(library);
+    core::detail::BestPredecessors bp;
+    bp.prepare(cands.data(), cands.size(), opt, library, order);
+
+    for (std::size_t pos = 0; pos < order.ids.size(); ++pos) {
+      const lib::BufferType& b = library.at(order.ids[pos]);
+      // The reference kernel's scan, verbatim predicates and tie-break.
+      const core::detail::VgCand* best = nullptr;
+      double best_q = -std::numeric_limits<double>::infinity();
+      for (const core::detail::VgCand& c : cands) {
+        if (opt.noise_constraints && b.resistance * c.current > c.noise_slack)
+          continue;
+        if (elmore::kSlewFactor * (b.resistance * c.load + c.dhat) >
+            opt.max_slew)
+          continue;
+        const double q = c.slack - b.intrinsic_delay - b.resistance * c.load;
+        if (q > best_q) {
+          best_q = q;
+          best = &c;
+        }
+      }
+      const auto choice = bp.select(b, pos);
+      EXPECT_EQ(choice.cand, best) << "type walk position " << pos;
+      if (best != nullptr) {
+        EXPECT_EQ(choice.q, best_q);
+      }
+    }
+  }
+}
+
+TEST(LibraryProperties, DominatedAtBirthMatchesBruteForce) {
+  // The dominated-at-birth skip (one binary search against the target
+  // bucket's staircase view) must agree with the definition — some view
+  // entry has load <= L and slack >= S — including on exact-tie probes.
+  util::Rng rng(0xDAB5);
+  for (int trial = 0; trial < 200; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    core::detail::CandList view;
+    double load = rng.uniform(1.0, 20.0) * fF;
+    double slack = rng.uniform(-500.0, 0.0) * ps;
+    const std::size_t m = static_cast<std::size_t>(rng.uniform_int(0, 12));
+    for (std::size_t i = 0; i < m; ++i) {
+      core::detail::VgCand c;
+      c.load = load;
+      c.slack = slack;
+      view.push_back(c);
+      load += rng.uniform(0.5, 25.0) * fF;
+      slack += rng.uniform(1.0, 90.0) * ps;
+    }
+    for (int probe = 0; probe < 12; ++probe) {
+      double pl, ps_;
+      if (!view.empty() && rng.chance(0.5)) {
+        // Exact-tie probes: reuse a view entry's load and/or slack.
+        const auto& e = view[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(view.size()) - 1))];
+        pl = rng.chance(0.5) ? e.load : rng.uniform(0.5, 400.0) * fF;
+        ps_ = rng.chance(0.5) ? e.slack : rng.uniform(-600.0, 300.0) * ps;
+      } else {
+        pl = rng.uniform(0.5, 400.0) * fF;
+        ps_ = rng.uniform(-600.0, 300.0) * ps;
+      }
+      bool brute = false;
+      for (const auto& e : view)
+        brute = brute || (e.load <= pl && e.slack >= ps_);
+      EXPECT_EQ(core::detail::dominated_by_staircase(view.data(), view.size(),
+                                                     pl, ps_),
+                brute)
+          << "probe " << probe;
+    }
+  }
 }
 
 }  // namespace

@@ -13,6 +13,8 @@
 //   --segment UM      wire segmenting granularity in µm (default 500)
 //   --wire-sizing     enable simultaneous 1x/2x/4x wire sizing
 //   --golden          additionally run the transient golden noise analysis
+//   --library FILE    insertion library (.lib, docs/library.md) instead of
+//                     the paper's built-in 11-type library
 //   -o FILE           write the buffered net back out as a .net file
 //
 //   nbuf_cli batch (--dir DIR | --netgen N) [options]
@@ -30,6 +32,11 @@
 //   --segment UM      as above
 //   --stats           also print the aggregated VgStats counter block with
 //                     per-phase DP wall times
+//   --library FILE    insertion library (.lib, docs/library.md)
+//   --lib-size B      generate a synthetic B-type strength ladder instead
+//                     (library-size sweeps; excludes --library)
+//   --lib-inverting F fraction of ladder rungs that are inverters,
+//                     in [0, 1) (default 0.45, the paper library's mix)
 //   --kernel K        fast (default) | reference — Van Ginneken DP kernel
 //                     (reference is the pre-optimization oracle; results
 //                     are bit-identical either way)
@@ -82,6 +89,7 @@
 #include "batch/batch.hpp"
 #include "core/alg2_multi_sink.hpp"
 #include "core/tool.hpp"
+#include "io/libfile.hpp"
 #include "io/netfile.hpp"
 #include "obs/export.hpp"
 #include "sim/golden.hpp"
@@ -101,6 +109,7 @@ struct Args {
   std::string input;
   std::string output;
   std::string mode = "buffopt";
+  std::string library_path;  // empty = default_library()
   std::size_t max_buffers = 24;
   double segment = 500.0;
   bool wire_sizing = false;
@@ -153,10 +162,11 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.net> [--mode analyze|buffopt|delayopt|"
                "noise] [--max-buffers K] [--segment UM] [--wire-sizing] "
-               "[--golden] [-o out.net]\n"
+               "[--golden] [--library FILE] [-o out.net]\n"
                "       %s batch (--dir DIR | --netgen N) [--seed S] "
                "[--threads T] [--mode buffopt|delayopt] [--max-buffers K] "
                "[--segment UM] [--stats] [--kernel fast|reference] "
+               "[--library FILE | --lib-size B [--lib-inverting F]] "
                "[--trace FILE] [--trace-level phase|detail] "
                "[--metrics FILE]\n"
                "       %s signoff (--dir DIR | --netgen N) [batch options] "
@@ -185,6 +195,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.wire_sizing = true;
     } else if (a == "--golden") {
       args.golden = true;
+    } else if (a == "--library") {
+      const char* v = value();
+      if (!v) return false;
+      args.library_path = v;
     } else if (a == "-o") {
       const char* v = value();
       if (!v) return false;
@@ -229,6 +243,9 @@ struct BatchArgs {
   double segment = 500.0;
   bool stats = false;
   std::string kernel = "fast";
+  std::string library_path;          // .lib file (empty = default/ladder)
+  std::size_t lib_size = 0;          // >0: synthetic ladder of this size
+  double lib_inverting = 0.45;       // ladder inverter fraction
   std::string trace;                 // Chrome trace JSON path (empty = off)
   std::string trace_level = "phase"; // phase | detail
   std::string metrics;               // nbuf-metrics-v1 JSON path
@@ -295,6 +312,15 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args,
       const char* v = value();
       if (!v) return false;
       args.kernel = v;
+    } else if (a == "--library") {
+      const char* v = value();
+      if (!v) return false;
+      args.library_path = v;
+    } else if (a == "--lib-size") {
+      if (!parse_count(value(), "--lib-size", args.lib_size)) return false;
+    } else if (a == "--lib-inverting") {
+      if (!parse_number(value(), "--lib-inverting", args.lib_inverting))
+        return false;
     } else if (a == "--trace") {
       const char* v = value();
       if (!v) return false;
@@ -324,6 +350,14 @@ bool parse_batch_args(int argc, char** argv, BatchArgs& args,
   }
   if (args.segment <= 0.0) {
     std::fprintf(stderr, "--segment must be positive\n");
+    return false;
+  }
+  if (!args.library_path.empty() && args.lib_size > 0) {
+    std::fprintf(stderr, "--library and --lib-size are exclusive\n");
+    return false;
+  }
+  if (args.lib_inverting < 0.0 || args.lib_inverting >= 1.0) {
+    std::fprintf(stderr, "--lib-inverting must be in [0, 1)\n");
     return false;
   }
   if (so && (so->tol_noise_mv < 0.0 || so->tol_timing_ps < 0.0 ||
@@ -381,6 +415,30 @@ obs::TraceLevel trace_level_of(const BatchArgs& args) {
                                       : obs::TraceLevel::Phase;
 }
 
+// Resolves the insertion library for a run: an explicit --library file, a
+// generated --lib-size strength ladder, or the paper's default. Load and
+// parse failures are usage errors (exit 2), same as an unreadable .net.
+bool resolve_library(const std::string& path, std::size_t lib_size,
+                     double lib_inverting, lib::BufferLibrary& out) {
+  try {
+    if (!path.empty()) {
+      out = io::read_library_file(path).library;
+      std::printf("library: %s (%zu types, %zu inverting)\n", path.c_str(),
+                  out.size(), out.inverting_count());
+    } else if (lib_size > 0) {
+      out = lib::make_ladder_library(lib_size, lib_inverting);
+      std::printf("library: %zu-type ladder (%zu inverting)\n", out.size(),
+                  out.inverting_count());
+    } else {
+      out = lib::default_library();
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "library: %s\n", e.what());
+    return false;
+  }
+  return true;
+}
+
 // Shared by --trace/--metrics/--json writers: an unwritable path is a
 // usage error (exit 2), same as an unreadable input.
 bool write_text_file(const std::string& path, const std::string& body) {
@@ -410,7 +468,10 @@ int batch_main(int argc, char** argv) {
   BatchArgs args;
   if (!parse_batch_args(argc, argv, args)) return usage(argv[0]);
 
-  const lib::BufferLibrary library = lib::default_library();
+  lib::BufferLibrary library;
+  if (!resolve_library(args.library_path, args.lib_size, args.lib_inverting,
+                       library))
+    return kExitUsage;
   std::vector<batch::BatchNet> nets;
   if (const int rc = load_workload("batch", args, library, nets);
       rc != kExitClean)
@@ -490,7 +551,10 @@ int signoff_main(int argc, char** argv) {
   SignoffArgs so;
   if (!parse_batch_args(argc, argv, args, &so)) return usage(argv[0]);
 
-  const lib::BufferLibrary library = lib::default_library();
+  lib::BufferLibrary library;
+  if (!resolve_library(args.library_path, args.lib_size, args.lib_inverting,
+                       library))
+    return kExitUsage;
   std::vector<batch::BatchNet> nets;
   if (const int rc = load_workload("signoff", args, library, nets);
       rc != kExitClean)
@@ -596,7 +660,9 @@ int cli_main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage(argv[0]);
 
-  const lib::BufferLibrary library = lib::default_library();
+  lib::BufferLibrary library;
+  if (!resolve_library(args.library_path, 0, 0.0, library))
+    return kExitUsage;
   io::NetFile net;
   try {
     net = io::read_net_file(args.input, library);
