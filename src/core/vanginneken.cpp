@@ -11,48 +11,18 @@
 
 namespace nbuf::core {
 
-namespace {
+namespace detail {
 
-using detail::CandList;
-using detail::NodeLists;
-using detail::PhaseTimer;
-using detail::VgCand;
-
-// The reference (seed) kernel: re-sorts every candidate list on every prune
-// and snapshots the full NodeLists at each buffer-insertion node. Kept as
-// the bit-identity oracle for the fast kernel (tests/test_vg_kernel) and as
-// the A/B baseline of bench/figI_kernel_speedup.
-class VgRun {
- public:
-  VgRun(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
-        const VgOptions& opt)
-      : tree_(tree), lib_(lib), opt_(opt) {
-    stats_.lib_types = lib_.size();
-  }
-
-  VgResult run();
-
- private:
-  NodeLists process(rct::NodeId v);
-  void prune(CandList& list);
-  void extend_wire(NodeLists& lists, rct::NodeId child);
-  void insert_buffers(NodeLists& lists, rct::NodeId v);
-  NodeLists merge(const NodeLists& l, const NodeLists& r);
-  void note_created(std::size_t n) { stats_.candidates_generated += n; }
-  [[nodiscard]] double* timed(double util::VgStats::*field) {
-    return opt_.collect_stats ? &(stats_.*field) : nullptr;
-  }
-
-  const rct::RoutingTree& tree_;
-  const lib::BufferLibrary& lib_;
-  const VgOptions& opt_;
-  PlanArena arena_;
-  util::VgStats stats_;
-};
+// The reference (seed) kernel — see the ReferenceDp declaration in
+// vg_kernel.hpp: re-sorts every candidate list on every prune and snapshots
+// the full NodeLists at each buffer-insertion node. Kept as the
+// bit-identity oracle for the fast kernel (tests/test_vg_kernel), as the
+// A/B baseline of bench/figI_kernel_speedup, and — with a SubtreeCache —
+// as the engine of core::IncrementalContext.
 
 // Pareto pruning on (load, slack) only — paper Step 7; with noise enabled,
 // dead candidates (NS < 0: no future gate can drive them) are removed first.
-void VgRun::prune(CandList& list) {
+void ReferenceDp::prune(CandList& list) {
   NBUF_TRACE_DETAIL_TAGGED("vg.prune", list.size());
   ++stats_.prune_calls;
   ++stats_.prune_sorts;  // this kernel always sorts
@@ -77,7 +47,7 @@ void VgRun::prune(CandList& list) {
   if (detail::verify_lists_enabled(opt_)) detail::verify_cand_list(list, opt_);
 }
 
-void VgRun::extend_wire(NodeLists& lists, rct::NodeId child) {
+void ReferenceDp::extend_wire(NodeLists& lists, rct::NodeId child) {
   NBUF_TRACE_DETAIL_TAGGED("vg.wire", lists.total_size());
   const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
   const rct::Wire& w = tree_.node(child).parent_wire;
@@ -129,7 +99,7 @@ void VgRun::extend_wire(NodeLists& lists, rct::NodeId child) {
   }
 }
 
-void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
+void ReferenceDp::insert_buffers(NodeLists& lists, rct::NodeId v) {
   NBUF_TRACE_DETAIL_TAGGED("vg.buffer", lists.total_size());
   const PhaseTimer timer(timed(&util::VgStats::buffer_seconds));
   // Snapshot the pre-insertion lists: every type considers only unbuffered-
@@ -202,7 +172,7 @@ void VgRun::insert_buffers(NodeLists& lists, rct::NodeId v) {
     for (CandList& list : phase_lists) prune(list);
 }
 
-NodeLists VgRun::merge(const NodeLists& l, const NodeLists& r) {
+NodeLists ReferenceDp::merge(const NodeLists& l, const NodeLists& r) {
   NBUF_TRACE_DETAIL_TAGGED("vg.merge", l.total_size() + r.total_size());
   const PhaseTimer timer(timed(&util::VgStats::merge_seconds));
   const std::size_t kmax = opt_.max_buffers;
@@ -247,7 +217,20 @@ NodeLists VgRun::merge(const NodeLists& l, const NodeLists& r) {
   return out;
 }
 
-NodeLists VgRun::process(rct::NodeId v) {
+NodeLists ReferenceDp::process(rct::NodeId v) {
+  if (cache_ == nullptr) return compute(v);
+  if (cache_->valid[v.value()]) {
+    ++cache_->reused;
+    return cache_->lists[v.value()];  // copy: callers mutate their lists
+  }
+  NodeLists lists = compute(v);
+  cache_->lists[v.value()] = lists;
+  cache_->valid[v.value()] = 1;
+  ++cache_->recomputed;
+  return lists;
+}
+
+NodeLists ReferenceDp::compute(rct::NodeId v) {
   const rct::Node& n = tree_.node(v);
   NodeLists lists;
   for (auto& pl : lists.by_phase) pl.resize(opt_.max_buffers + 1);
@@ -280,14 +263,15 @@ NodeLists VgRun::process(rct::NodeId v) {
   return lists;
 }
 
-VgResult VgRun::run() {
+VgResult ReferenceDp::run() {
+  if (cache_ != nullptr) {
+    cache_->ensure_size(tree_.node_count());
+    cache_->reused = 0;
+    cache_->recomputed = 0;
+  }
   const NodeLists at_source = process(tree_.source());
   return detail::finalize(at_source, tree_, opt_, stats_);
 }
-
-}  // namespace
-
-namespace detail {
 
 void verify_cand_list(const CandList& list, const VgOptions& opt) {
   NBUF_ASSERT_MSG(std::is_sorted(list.begin(), list.end(), cand_less),
@@ -399,7 +383,8 @@ VgResult optimize(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
     for (std::size_t c : options.buffer_costs) NBUF_EXPECTS(c >= 1);
   }
   if (options.kernel == VgKernel::Reference) {
-    VgRun run(tree, lib, options);
+    PlanArena arena;
+    detail::ReferenceDp run(tree, lib, options, arena);
     return run.run();
   }
   return detail::run_fast_kernel(tree, lib, options);

@@ -4,8 +4,10 @@
 // of the public API — include core/vanginneken.hpp instead.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstddef>
 #include <vector>
 
 #include "core/plan.hpp"
@@ -237,6 +239,73 @@ class BestPredecessors {
   std::vector<std::size_t> counts_;  // scratch: counting-sort offsets
   std::vector<std::size_t> sorted_;  // scratch: candidates grouped by tmin
   std::vector<std::size_t> stack_;   // scratch: hull build
+};
+
+// Per-node memo of the reference DP: lists[v] caches the NodeLists that
+// process(v) returned (post insert_buffers — the exact value a cold run
+// computes), valid[v] says whether the cache may be served. Because the DP
+// state of a subtree is a pure function of that subtree, serving a cached
+// list is bit-identical to recomputing it as long as the subtree is
+// untouched — the foundation of core::IncrementalContext. Plans inside
+// cached candidates point into the arena the caching run used, so that
+// arena must outlive the cache.
+struct SubtreeCache {
+  std::vector<NodeLists> lists;  // by node id
+  std::vector<char> valid;       // by node id
+  // Per-run tallies (reset by ReferenceDp::run): subtrees served from the
+  // cache vs recomputed. Deterministic — a pure function of the dirty set.
+  std::size_t reused = 0;
+  std::size_t recomputed = 0;
+
+  void ensure_size(std::size_t n) {
+    if (lists.size() < n) lists.resize(n);
+    if (valid.size() < n) valid.resize(n, 0);
+  }
+  void invalidate(rct::NodeId v) {
+    if (v.value() < valid.size()) valid[v.value()] = 0;
+  }
+  void invalidate_all() { std::fill(valid.begin(), valid.end(), 0); }
+};
+
+// The reference (seed) DP, promoted out of vanginneken.cpp's anonymous
+// namespace so it can run in two modes:
+//   * one-shot (cache == nullptr, own arena) — the VgKernel::Reference
+//     oracle path of core::optimize, exactly the historic VgRun;
+//   * memoized (external cache + arena) — core::IncrementalContext re-runs
+//     it after perturbations and only the invalidated spine recomputes.
+// Results are bit-identical between the modes (and to the fast kernel,
+// per the PR2/PR6 contract): cached lists hold the same candidate values a
+// cold run would build, cand_less ties resolve by plan CONTENT (not
+// pointer), and finalize() reads only the source lists.
+class ReferenceDp {
+ public:
+  ReferenceDp(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
+              const VgOptions& opt, PlanArena& arena,
+              SubtreeCache* cache = nullptr)
+      : tree_(tree), lib_(lib), opt_(opt), arena_(arena), cache_(cache) {
+    stats_.lib_types = lib_.size();
+  }
+
+  VgResult run();
+
+ private:
+  NodeLists process(rct::NodeId v);
+  NodeLists compute(rct::NodeId v);
+  void prune(CandList& list);
+  void extend_wire(NodeLists& lists, rct::NodeId child);
+  void insert_buffers(NodeLists& lists, rct::NodeId v);
+  NodeLists merge(const NodeLists& l, const NodeLists& r);
+  void note_created(std::size_t n) { stats_.candidates_generated += n; }
+  [[nodiscard]] double* timed(double util::VgStats::*field) {
+    return opt_.collect_stats ? &(stats_.*field) : nullptr;
+  }
+
+  const rct::RoutingTree& tree_;
+  const lib::BufferLibrary& lib_;
+  const VgOptions& opt_;
+  PlanArena& arena_;
+  SubtreeCache* cache_;
+  util::VgStats stats_;
 };
 
 // Driver fold (Fig. 10 Steps 2-4) and objective selection, shared verbatim

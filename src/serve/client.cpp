@@ -1,0 +1,86 @@
+#include "serve/client.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace nbuf::serve {
+
+Client Client::connect(const std::string& host, std::uint16_t port) {
+  return Client(connect_tcp(host, port));
+}
+
+Client Client::connect_unix_socket(const std::string& path) {
+  return Client(serve::connect_unix(path));
+}
+
+Frame Client::call(Opcode op, std::string payload) {
+  (void)send(op, std::move(payload));
+  Frame resp;
+  if (!receive(resp))
+    throw std::runtime_error("server closed the connection mid-call");
+  return resp;
+}
+
+std::uint64_t Client::send(Opcode op, std::string payload) {
+  Frame f;
+  f.op = op;
+  f.request_id = next_id_++;
+  f.payload = std::move(payload);
+  if (!write_frame(fd_.get(), f))
+    throw std::runtime_error("send failed: " +
+                             std::string(std::strerror(errno)));
+  return f.request_id;
+}
+
+bool Client::receive(Frame& out) {
+  bool clean_eof = false;
+  const HeaderError err = read_frame(fd_.get(), out, clean_eof);
+  if (err == HeaderError::None) return true;
+  if (clean_eof) return false;
+  if (err == HeaderError::Truncated) return false;
+  throw std::runtime_error(std::string("response framing fault: ") +
+                           to_string(err));
+}
+
+std::vector<Frame> Client::pipeline(
+    const std::vector<std::pair<Opcode, std::string>>& requests) {
+  std::string burst;
+  for (const auto& [op, payload] : requests) {
+    Frame f;
+    f.op = op;
+    f.request_id = next_id_++;
+    f.payload = payload;
+    burst += encode_frame(f);
+  }
+  send_raw(burst);
+  std::vector<Frame> responses;
+  responses.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    Frame r;
+    if (!receive(r))
+      throw std::runtime_error("server closed mid-pipeline");
+    responses.push_back(std::move(r));
+  }
+  return responses;
+}
+
+void Client::send_raw(const std::string& bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t r =
+        ::write(fd_.get(), bytes.data() + done, bytes.size() - done);
+    if (r > 0) {
+      done += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    throw std::runtime_error("send_raw failed: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+}  // namespace nbuf::serve

@@ -1,0 +1,47 @@
+// nbuf-rpc-v1 client library: typed calls plus the raw/pipelined access the
+// robustness corpus and the determinism tests need (docs/serving.md shows a
+// full session).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/socket.hpp"
+
+namespace nbuf::serve {
+
+class Client {
+ public:
+  [[nodiscard]] static Client connect(const std::string& host,
+                                      std::uint16_t port);
+  [[nodiscard]] static Client connect_unix_socket(const std::string& path);
+
+  // One request/response round trip. Throws std::runtime_error when the
+  // connection drops; an Error response comes back as a normal Frame with
+  // op == Opcode::Error (the caller inspects it).
+  Frame call(Opcode op, std::string payload);
+
+  // Pipelining: enqueue without waiting. Returns the request id.
+  std::uint64_t send(Opcode op, std::string payload);
+  // Reads one response frame; false on EOF.
+  bool receive(Frame& out);
+  // Sends every request back-to-back in one write (a coalescable burst),
+  // then collects exactly one response per request, in order.
+  [[nodiscard]] std::vector<Frame> pipeline(
+      const std::vector<std::pair<Opcode, std::string>>& requests);
+
+  // Writes arbitrary bytes — the corrupt-corpus injector.
+  void send_raw(const std::string& bytes);
+
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace nbuf::serve

@@ -1,0 +1,61 @@
+// Minimal RAII socket layer for the optimization service: TCP on loopback
+// and Unix-domain stream sockets, blocking I/O, no external dependencies.
+// The server listens on one or the other; test_serve uses ephemeral TCP
+// ports (bind to port 0, read the chosen port back).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace nbuf::serve {
+
+// Owning file descriptor; closes on destruction, move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) noexcept : fd_(fd) {}
+  ~Fd();
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void reset();
+  [[nodiscard]] int release() noexcept {
+    return std::exchange(fd_, -1);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// All throw std::runtime_error with errno context on failure.
+
+// Listening TCP socket bound to 127.0.0.1:`port` (0 = ephemeral); returns
+// the socket and the actual bound port.
+[[nodiscard]] std::pair<Fd, std::uint16_t> listen_tcp(std::uint16_t port);
+// Listening Unix-domain socket at `path` (unlinked first if stale).
+[[nodiscard]] Fd listen_unix(const std::string& path);
+
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
+[[nodiscard]] Fd connect_unix(const std::string& path);
+
+// accept(2) with EINTR retry; invalid Fd when the listener was closed.
+[[nodiscard]] Fd accept_connection(int listen_fd);
+
+// True when at least one byte is readable right now (poll with 0 timeout) —
+// the request-coalescing probe: the connection loop drains every complete
+// frame the client pipelined before dispatching the batch.
+[[nodiscard]] bool readable_now(int fd);
+
+}  // namespace nbuf::serve

@@ -1,7 +1,10 @@
-// Incremental Devgan noise queries vs full re-analysis.
+// Incremental Devgan noise queries vs full re-analysis, and the
+// core::IncrementalContext re-optimization cache vs cold full DP runs.
 #include <gtest/gtest.h>
 
 #include "common/test_nets.hpp"
+#include "core/incremental.hpp"
+#include "core/vanginneken.hpp"
 #include "noise/devgan.hpp"
 #include "noise/incremental.hpp"
 #include "seg/segment.hpp"
@@ -181,41 +184,8 @@ TEST(Incremental, DifferentialAgainstFullRecomputeOnPerturbedTrees) {
   for (int trial = 0; trial < 120; ++trial) {
     auto t = random_net(rng, 0, 7000.0);
     const int edits = rng.uniform_int(1, 4);
-    for (int e = 0; e < edits; ++e) {
-      switch (rng.uniform_int(0, 2)) {
-        case 0: {  // rescale a random wire's electricals
-          const auto order = t.preorder();
-          const rct::NodeId id =
-              order[static_cast<std::size_t>(rng.uniform_int(
-                  1, static_cast<int>(order.size()) - 1))];
-          rct::Wire w = t.node(id).parent_wire;
-          w.resistance *= rng.uniform(0.4, 2.5);
-          w.capacitance *= rng.uniform(0.4, 2.5);
-          w.coupling_current *= rng.uniform(0.4, 2.5);
-          t.set_parent_wire(id, w);
-          break;
-        }
-        case 1: {  // retune a random sink's pin cap and margin
-          const auto sid = rct::SinkId{static_cast<std::uint32_t>(
-              rng.uniform_int(0, static_cast<int>(t.sink_count()) - 1))};
-          rct::SinkInfo s = t.sink(sid);
-          s.cap *= rng.uniform(0.5, 2.0);
-          s.noise_margin = rng.uniform(0.3, 1.2);
-          t.set_sink_info(sid, s);
-          break;
-        }
-        default: {  // split a random wire, changing the topology
-          const auto order = t.preorder();
-          const rct::NodeId id =
-              order[static_cast<std::size_t>(rng.uniform_int(
-                  1, static_cast<int>(order.size()) - 1))];
-          const double len = t.node(id).parent_wire.length;
-          if (len > 1.0)
-            (void)t.split_wire(id, rng.uniform(0.25, 0.75) * len);
-          break;
-        }
-      }
-    }
+    for (int e = 0; e < edits; ++e)
+      (void)core::apply_perturbation(t, core::random_perturbation(rng, t));
     t.validate();
 
     const noise::IncrementalNoise inc(t);
@@ -251,6 +221,132 @@ TEST(Incremental, DifferentialAgainstFullRecomputeOnPerturbedTrees) {
       rc += t.node(c).parent_wire.resistance;
     EXPECT_NEAR(inc.common_resistance(a, b), rc, 1e-9) << "trial " << trial;
   }
+}
+
+// ---------------------------------------------------------------------------
+// core::IncrementalContext: the subtree-memoized DP must answer perturbed
+// trees bit-identically to a cold full run on the same tree.
+
+core::VgOptions inc_options() {
+  core::VgOptions opt;
+  opt.kernel = core::VgKernel::Reference;
+  opt.max_buffers = 8;
+  return opt;
+}
+
+rct::RoutingTree random_dp_net(util::Rng& rng) {
+  auto t = random_net(rng, 0, 7000.0);
+  t.binarize();
+  seg::segment(t, {900.0});
+  return t;
+}
+
+TEST(IncrementalContext, FirstRunMatchesPlainOptimize) {
+  util::Rng rng(20260811);
+  for (int trial = 0; trial < 6; ++trial) {
+    auto t = random_dp_net(rng);
+    core::IncrementalContext ctx(t, kLib, inc_options());
+    const auto& got = ctx.optimize();
+    const auto want = core::optimize(t, kLib, inc_options());
+    ASSERT_TRUE(core::same_solution(got, want)) << "trial " << trial;
+    EXPECT_EQ(ctx.stats().last_reused, 0u);
+    EXPECT_EQ(ctx.stats().last_recomputed, t.node_count());
+    ASSERT_NE(ctx.result(), nullptr);
+    EXPECT_TRUE(core::same_solution(*ctx.result(), want));
+  }
+}
+
+// The extraction guard: the 120-case differential, re-pointed at the
+// library API. Random local edits flow through IncrementalContext::apply
+// and the memoized re-run must equal a from-scratch core::optimize on the
+// perturbed tree — the exact contract the serve layer's PERTURB relies on.
+TEST(IncrementalContext, DifferentialAgainstColdRunOnPerturbedTrees) {
+  util::Rng rng(20260807);
+  std::size_t reused_total = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    auto t = random_dp_net(rng);
+    core::IncrementalContext ctx(std::move(t), kLib, inc_options());
+    (void)ctx.optimize();
+    const int edits = rng.uniform_int(1, 4);
+    for (int e = 0; e < edits; ++e)
+      (void)ctx.apply(core::random_perturbation(rng, ctx.tree()));
+    const auto& fast = ctx.optimize();
+    reused_total += ctx.stats().last_reused;
+    const auto cold = core::optimize(ctx.tree(), kLib, inc_options());
+    ASSERT_TRUE(core::same_solution(fast, cold)) << "trial " << trial;
+  }
+  // Local edits must actually exercise the cache, not recompute the world.
+  EXPECT_GT(reused_total, 0u);
+}
+
+TEST(IncrementalContext, LocalEditReusesSiblingSubtrees) {
+  util::Rng rng(20260812);
+  auto t = random_dp_net(rng);
+  core::IncrementalContext ctx(std::move(t), kLib, inc_options());
+  (void)ctx.optimize();
+  // Retune one sink: only its root spine should recompute.
+  rct::SinkInfo s = ctx.tree().sink(rct::SinkId{0});
+  s.cap *= 1.5;
+  ctx.set_sink(rct::SinkId{0}, s);
+  (void)ctx.optimize();
+  EXPECT_GT(ctx.stats().last_reused, 0u);
+  // A cache hit stops recursion, so the run touches only the dirty spine
+  // plus its clean-frontier children — far fewer visits than nodes.
+  EXPECT_LT(ctx.stats().last_reused + ctx.stats().last_recomputed,
+            ctx.tree().node_count());
+}
+
+TEST(IncrementalContext, GlobalEditsInvalidateEverything) {
+  util::Rng rng(20260813);
+  auto t = random_dp_net(rng);
+  core::IncrementalContext ctx(std::move(t), kLib, inc_options());
+  (void)ctx.optimize();
+  ctx.tighten_margins(0.05);
+  const auto& got = ctx.optimize();
+  EXPECT_EQ(ctx.stats().last_reused, 0u);
+  const auto cold = core::optimize(ctx.tree(), kLib, inc_options());
+  EXPECT_TRUE(core::same_solution(got, cold));
+  ctx.scale_coupling(1.3);
+  (void)ctx.optimize();
+  EXPECT_EQ(ctx.stats().last_reused, 0u);
+}
+
+TEST(IncrementalContext, SplitWireGrowsTreeAndStaysConsistent) {
+  util::Rng rng(20260814);
+  auto t = random_dp_net(rng);
+  core::IncrementalContext ctx(std::move(t), kLib, inc_options());
+  (void)ctx.optimize();
+  // Find a splittable wire.
+  rct::NodeId target;
+  for (auto v : ctx.tree().preorder()) {
+    if (v == ctx.tree().source()) continue;
+    if (ctx.tree().node(v).parent_wire.length > 1.0) {
+      target = v;
+      break;
+    }
+  }
+  ASSERT_TRUE(target.valid());
+  const double len = ctx.tree().node(target).parent_wire.length;
+  const std::size_t before = ctx.tree().node_count();
+  const rct::NodeId n = ctx.split_wire(target, 0.5 * len);
+  ASSERT_TRUE(n.valid());
+  EXPECT_EQ(ctx.tree().node_count(), before + 1);
+  const auto& got = ctx.optimize();
+  const auto cold = core::optimize(ctx.tree(), kLib, inc_options());
+  EXPECT_TRUE(core::same_solution(got, cold));
+}
+
+TEST(IncrementalContext, InvalidateAllForcesColdRun) {
+  util::Rng rng(20260815);
+  auto t = random_dp_net(rng);
+  core::IncrementalContext ctx(std::move(t), kLib, inc_options());
+  const auto first = ctx.optimize();
+  ctx.invalidate_all();
+  const auto& again = ctx.optimize();
+  EXPECT_EQ(ctx.stats().last_reused, 0u);
+  EXPECT_EQ(ctx.stats().last_recomputed, ctx.tree().node_count());
+  EXPECT_TRUE(core::same_solution(first, again));
+  EXPECT_EQ(ctx.stats().runs, 2u);
 }
 
 TEST(Incremental, DecouplingNeverIncreasesNoise) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "cli_app.hpp"
+#include "serve/server.hpp"
+#include "serve_app.hpp"
 
 namespace {
 
@@ -175,6 +177,108 @@ TEST(Cli, BatchUsageErrors) {
   EXPECT_EQ(run_cli({"batch", "--netgen", "3", "--segment", "-10"})
                 .exit_code,
             2);
+}
+
+// The nbuf_serve daemon's own argv parsing (tools/serve_app.cpp), driven
+// through the same opt_parse.hpp helpers nbuf_cli uses.
+int run_serve_main(std::vector<std::string> args) {
+  args.insert(args.begin(), "nbuf_serve");
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return nbuf::cli::serve_main(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ServeDaemonUsageErrorsExitTwo) {
+  using nbuf::cli::kExitUsage;
+  EXPECT_EQ(run_serve_main({"--port", "abc"}), kExitUsage);
+  EXPECT_EQ(run_serve_main({"--port", "70000"}), kExitUsage);
+  EXPECT_EQ(run_serve_main({"--port", "-1"}), kExitUsage);
+  EXPECT_EQ(run_serve_main({"--port"}), kExitUsage);  // missing value
+  EXPECT_EQ(run_serve_main({"--threads", "x"}), kExitUsage);
+  EXPECT_EQ(run_serve_main({"--segment", "0"}), kExitUsage);
+  EXPECT_EQ(run_serve_main({"--segment", "-5"}), kExitUsage);
+  EXPECT_EQ(run_serve_main({"--segment", "nan"}), kExitUsage);
+  EXPECT_EQ(run_serve_main({"--frobnicate"}), kExitUsage);
+}
+
+TEST(Cli, ServeClientUsageErrorsExitTwo) {
+  using nbuf::cli::kExitUsage;
+  // Exactly one of --port / --unix is required.
+  EXPECT_EQ(run_cli({"serve-client"}).exit_code, kExitUsage);
+  EXPECT_EQ(run_cli({"serve-client", "--port", "9", "--unix", "/tmp/x"})
+                .exit_code,
+            kExitUsage);
+  // Port 0, malformed, or out-of-range ports are usage errors, not wraps.
+  EXPECT_EQ(run_cli({"serve-client", "--port", "0"}).exit_code, kExitUsage);
+  EXPECT_EQ(run_cli({"serve-client", "--port", "abc"}).exit_code,
+            kExitUsage);
+  EXPECT_EQ(run_cli({"serve-client", "--port", "70000"}).exit_code,
+            kExitUsage);
+  EXPECT_EQ(run_cli({"serve-client", "--port", "-1"}).exit_code,
+            kExitUsage);
+  EXPECT_EQ(run_cli({"serve-client", "--port", "9", "--frobnicate"})
+                .exit_code,
+            kExitUsage);
+  // Unreadable script file (checked before connecting).
+  EXPECT_EQ(run_cli({"serve-client", "--port", "9", "--script",
+                     "/nonexistent/script.txt"})
+                .exit_code,
+            kExitUsage);
+  // Connect failure with a well-formed command line.
+  const std::string empty_script = testing::TempDir() + "serve_empty.txt";
+  std::ofstream(empty_script).close();
+  EXPECT_EQ(run_cli({"serve-client", "--unix", "/nonexistent/nbuf.sock",
+                     "--script", empty_script})
+                .exit_code,
+            kExitUsage);
+  std::remove(empty_script.c_str());
+}
+
+TEST(Cli, ServeClientDrivesFullSessionAgainstLiveServer) {
+  nbuf::serve::Server server;  // ephemeral port, defaults otherwise
+  server.start();
+  const std::string script_file = testing::TempDir() + "serve_script.txt";
+  {
+    std::ofstream s(script_file);
+    s << "# exercised by test_tools against an in-process server\n"
+      << "load_net " << example("long_two_pin.net") << " 400\n"
+      << "optimize long_two_pin max_buffers 4\n"
+      << "perturb long_two_pin scale_wire 2 1.3 1.1 0.9\n"
+      << "perturb_full long_two_pin scale_wire 2 1.1 1.0 1.0\n"
+      << "signoff long_two_pin\n"
+      << "stats\n";
+  }
+  const CliRun r = run_cli({"serve-client", "--port",
+                            std::to_string(server.port()), "--script",
+                            script_file});
+  EXPECT_EQ(r.exit_code, nbuf::cli::kExitClean) << r.out;
+  EXPECT_NE(r.out.find("LOAD_NET id=1"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("ok net long_two_pin"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("OPTIMIZE id=2"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("PERTURB id=3"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("SIGNOFF id=5"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("requests 6"), std::string::npos) << r.out;
+  std::remove(script_file.c_str());
+  server.stop();
+}
+
+TEST(Cli, ServeClientErrorFrameExitsOne) {
+  nbuf::serve::Server server;
+  server.start();
+  const std::string script_file = testing::TempDir() + "serve_ghost.txt";
+  {
+    std::ofstream s(script_file);
+    s << "optimize ghost\n";
+  }
+  const CliRun r = run_cli({"serve-client", "--port",
+                            std::to_string(server.port()), "--script",
+                            script_file});
+  EXPECT_EQ(r.exit_code, nbuf::cli::kExitViolations) << r.out;
+  EXPECT_NE(r.out.find("ERROR id=1"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("error bad_state:"), std::string::npos) << r.out;
+  std::remove(script_file.c_str());
+  server.stop();
 }
 
 TEST(Cli, SignoffCleanWorkloadExitsZero) {

@@ -74,6 +74,8 @@
 // design is bad" from "the invocation is bad".
 #include "cli_app.hpp"
 
+#include "serve_app.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -92,6 +94,7 @@
 #include "io/libfile.hpp"
 #include "io/netfile.hpp"
 #include "obs/export.hpp"
+#include "opt_parse.hpp"
 #include "sim/golden.hpp"
 #include "signoff/workload.hpp"
 #include "util/stats.hpp"
@@ -116,48 +119,6 @@ struct Args {
   bool golden = false;
 };
 
-// std::stoul would silently wrap "--netgen -5" into a huge count and
-// std::stod would terminate the process on "--segment abc"; every numeric
-// option goes through these helpers instead, so a bad value is a usage
-// error (exit 2) with a message naming the option, never a wrap or abort.
-bool parse_count(const char* v, const char* what, std::size_t& out) {
-  if (v != nullptr && std::isdigit(static_cast<unsigned char>(*v))) {
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long n = std::strtoull(v, &end, 10);
-    if (errno != ERANGE && end != nullptr && *end == '\0') {
-      out = static_cast<std::size_t>(n);
-      return true;
-    }
-  }
-  std::fprintf(stderr, "%s needs a nonnegative integer, got '%s'\n", what,
-               v == nullptr ? "" : v);
-  return false;
-}
-
-bool parse_count64(const char* v, const char* what, std::uint64_t& out) {
-  std::size_t n = 0;
-  if (!parse_count(v, what, n)) return false;
-  out = n;
-  return true;
-}
-
-bool parse_number(const char* v, const char* what, double& out) {
-  if (v != nullptr && *v != '\0') {
-    errno = 0;
-    char* end = nullptr;
-    const double d = std::strtod(v, &end);
-    if (errno != ERANGE && end != nullptr && *end == '\0' &&
-        std::isfinite(d)) {
-      out = d;
-      return true;
-    }
-  }
-  std::fprintf(stderr, "%s needs a finite number, got '%s'\n", what,
-               v == nullptr ? "" : v);
-  return false;
-}
-
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.net> [--mode analyze|buffopt|delayopt|"
@@ -171,8 +132,10 @@ int usage(const char* argv0) {
                "[--metrics FILE]\n"
                "       %s signoff (--dir DIR | --netgen N) [batch options] "
                "[--json FILE] [--leaves] [--tol-noise MV] [--tol-timing PS] "
-               "[--tol-bound MV] [--convergence]\n",
-               argv0, argv0, argv0);
+               "[--tol-bound MV] [--convergence]\n"
+               "       %s serve-client (--port P | --unix PATH) [--host H] "
+               "[--script FILE]\n",
+               argv0, argv0, argv0, argv0);
   return kExitUsage;
 }
 
@@ -656,6 +619,8 @@ int cli_main(int argc, char** argv) {
     return batch_main(argc, argv);
   if (argc >= 2 && std::strcmp(argv[1], "signoff") == 0)
     return signoff_main(argc, argv);
+  if (argc >= 2 && std::strcmp(argv[1], "serve-client") == 0)
+    return serve_client_main(argc, argv);
 
   Args args;
   if (!parse_args(argc, argv, args)) return usage(argv[0]);

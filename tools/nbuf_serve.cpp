@@ -1,0 +1,6 @@
+// nbuf_serve — the persistent optimization daemon (docs/serving.md).
+#include "serve_app.hpp"
+
+int main(int argc, char** argv) {
+  return nbuf::cli::serve_main(argc, argv);
+}

@@ -1,0 +1,224 @@
+#include "serve_app.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_app.hpp"
+#include "opt_parse.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace nbuf::cli {
+
+namespace {
+
+int serve_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--unix PATH] [--threads T] "
+               "[--segment UM]\n",
+               argv0);
+  return kExitUsage;
+}
+
+int client_usage() {
+  std::fprintf(stderr,
+               "usage: nbuf_cli serve-client (--port P | --unix PATH) "
+               "[--host H] [--script FILE]\n");
+  return kExitUsage;
+}
+
+bool read_text_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> t;
+  std::string w;
+  while (in >> w) t.push_back(w);
+  return t;
+}
+
+// One script line -> one request, or an error message.
+bool build_request(const std::vector<std::string>& t,
+                   serve::Opcode& op, std::string& payload) {
+  using serve::Opcode;
+  if (t[0] == "load_lib" && t.size() == 2) {
+    op = Opcode::LoadLib;
+    return read_text_file(t[1], payload);
+  }
+  if (t[0] == "load_net" && (t.size() == 2 || t.size() == 3)) {
+    op = Opcode::LoadNet;
+    std::string text;
+    if (!read_text_file(t[1], text)) return false;
+    payload = t.size() == 3 ? "segment " + t[2] + "\n" + text : text;
+    return true;
+  }
+  if (t[0] == "optimize" && t.size() >= 2 && t.size() % 2 == 0) {
+    op = Opcode::Optimize;
+    payload = "net " + t[1] + "\n";
+    for (std::size_t i = 2; i + 1 < t.size(); i += 2)
+      payload += t[i] + " " + t[i + 1] + "\n";
+    return true;
+  }
+  if ((t[0] == "perturb" || t[0] == "perturb_full") && t.size() >= 3) {
+    op = Opcode::Perturb;
+    payload = "net " + t[1] + "\n";
+    if (t[0] == "perturb_full") payload += "full 1\n";
+    std::string edit;
+    for (std::size_t i = 2; i < t.size(); ++i) {
+      if (i > 2) edit += " ";
+      edit += t[i];
+    }
+    payload += edit + "\n";
+    return true;
+  }
+  if (t[0] == "signoff" && t.size() == 2) {
+    op = Opcode::Signoff;
+    payload = "net " + t[1] + "\n";
+    return true;
+  }
+  if (t[0] == "stats" && t.size() == 1) {
+    op = Opcode::Stats;
+    return true;
+  }
+  if (t[0] == "shutdown" && t.size() == 1) {
+    op = Opcode::Shutdown;
+    return true;
+  }
+  std::fprintf(stderr, "bad script line: %s ...\n", t[0].c_str());
+  return false;
+}
+
+}  // namespace
+
+int serve_main(int argc, char** argv) {
+  serve::ServerOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--port") {
+      if (!parse_port(value(), "--port", opt.port))
+        return serve_usage(argv[0]);
+    } else if (a == "--unix") {
+      const char* v = value();
+      if (v == nullptr) return serve_usage(argv[0]);
+      opt.unix_path = v;
+    } else if (a == "--threads") {
+      if (!parse_count(value(), "--threads", opt.threads))
+        return serve_usage(argv[0]);
+    } else if (a == "--segment") {
+      if (!parse_number(value(), "--segment", opt.segment_um) ||
+          opt.segment_um <= 0.0)
+        return serve_usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return serve_usage(argv[0]);
+    }
+  }
+  serve::Server server(opt);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "start failed: %s\n", e.what());
+    return kExitUsage;
+  }
+  if (!opt.unix_path.empty())
+    std::printf("listening unix %s\n", opt.unix_path.c_str());
+  else
+    std::printf("listening %u\n", server.port());
+  std::fflush(stdout);
+  server.wait();
+  return kExitClean;
+}
+
+int serve_client_main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::string unix_path;
+  std::string script_path;
+  std::uint16_t port = 0;
+  bool have_port = false;
+  // argv[1] is the matched "serve-client" token.
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--port") {
+      if (!parse_port(value(), "--port", port)) return client_usage();
+      have_port = true;
+    } else if (a == "--host") {
+      const char* v = value();
+      if (v == nullptr) return client_usage();
+      host = v;
+    } else if (a == "--unix") {
+      const char* v = value();
+      if (v == nullptr) return client_usage();
+      unix_path = v;
+    } else if (a == "--script") {
+      const char* v = value();
+      if (v == nullptr) return client_usage();
+      script_path = v;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a.c_str());
+      return client_usage();
+    }
+  }
+  // Exactly one of --port / --unix, and the port must be a real one.
+  if (have_port == !unix_path.empty()) return client_usage();
+  if (have_port && port == 0) return client_usage();
+
+  std::string script;
+  if (script_path.empty()) {
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0)
+      script.append(buf, n);
+  } else if (!read_text_file(script_path, script)) {
+    return kExitUsage;
+  }
+
+  try {
+    serve::Client client = unix_path.empty()
+                               ? serve::Client::connect(host, port)
+                               : serve::Client::connect_unix_socket(
+                                     unix_path);
+    bool any_error = false;
+    std::istringstream lines(script);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      const auto t = tokens_of(line);
+      if (t.empty()) continue;
+      serve::Opcode op{};
+      std::string payload;
+      if (!build_request(t, op, payload)) return kExitUsage;
+      const serve::Frame resp = client.call(op, std::move(payload));
+      std::printf("%s id=%" PRIu64 "\n%s", serve::to_string(resp.op),
+                  resp.request_id, resp.payload.c_str());
+      if (resp.op == serve::Opcode::Error) any_error = true;
+    }
+    return any_error ? kExitViolations : kExitClean;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve-client: %s\n", e.what());
+    return kExitUsage;
+  }
+}
+
+}  // namespace nbuf::cli

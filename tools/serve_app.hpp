@@ -1,0 +1,37 @@
+// The nbuf_serve daemon and the nbuf_cli serve-client program logic,
+// exposed as callables so tests/test_tools can drive the exact code paths
+// of the installed binaries.
+//
+//   nbuf_serve [--port P] [--unix PATH] [--threads T] [--segment UM]
+//
+//   Listens on 127.0.0.1:P (P=0 — the default — picks an ephemeral port)
+//   or a Unix-domain socket and serves nbuf-rpc-v1 (docs/serving.md) until
+//   a SHUTDOWN request arrives. Prints "listening <port>" (or
+//   "listening unix <path>") on stdout once ready, so scripts can wait for
+//   the line and read the ephemeral port back.
+//
+//   nbuf_cli serve-client (--port P | --unix PATH) [--host H]
+//                         [--script FILE]
+//
+//   Runs a request script (FILE, or stdin when omitted) against a running
+//   daemon and prints each response. Script lines ('#' comments allowed):
+//
+//     load_lib <file.lib>
+//     load_net <file.net> [segment_um]
+//     optimize <net> [max_buffers K] [noise 0|1] [objective slack|min_buffers]
+//     perturb <net> <edit...>        one edit, e.g. scale_wire 3 1.2 1 0.9
+//     perturb_full <net> <edit...>   same, then discard the cache (cold run)
+//     signoff <net>
+//     stats
+//     shutdown
+//
+//   Exit status: 0 when every response succeeded, 1 when any ERROR frame
+//   came back, 2 on usage/connect/script errors.
+#pragma once
+
+namespace nbuf::cli {
+
+int serve_main(int argc, char** argv);
+int serve_client_main(int argc, char** argv);
+
+}  // namespace nbuf::cli
