@@ -13,17 +13,6 @@ namespace {
 // The sorts below canonicalize small result sets for order-independent
 // equality checks (validation, not candidate-DP hot paths).
 
-// Sorted copy of an assignment's entries, for order-independent equality.
-std::vector<std::pair<rct::NodeId, lib::BufferId>> sorted_entries(
-    const rct::BufferAssignment& a) {
-  auto e = a.entries();
-  std::sort(e.begin(), e.end(), [](const auto& x,  // nbuf-lint: allow(sort)
-                                   const auto& y) {
-    return x.first.value() < y.first.value();
-  });
-  return e;
-}
-
 bool same_plan(const std::vector<PlannedBuffer>& a,
                const std::vector<PlannedBuffer>& b) {
   if (a.size() != b.size()) return false;
@@ -254,7 +243,8 @@ bool same_solution(const VgResult& a, const VgResult& b) {
   if (a.feasible != b.feasible || a.timing_met != b.timing_met ||
       a.buffer_count != b.buffer_count || a.slack != b.slack)
     return false;
-  if (sorted_entries(a.buffers) != sorted_entries(b.buffers)) return false;
+  // entries() is sorted by node id, so direct comparison is order-safe.
+  if (a.buffers.entries() != b.buffers.entries()) return false;
   if (!same_wires(a.wire_widths, b.wire_widths)) return false;
   if (a.per_count.size() != b.per_count.size()) return false;
   for (std::size_t i = 0; i < a.per_count.size(); ++i) {

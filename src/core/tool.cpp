@@ -18,9 +18,11 @@ ToolResult run(const rct::RoutingTree& input, const lib::BufferLibrary& lib,
     r.timing_before = elmore::analyze_unbuffered(r.tree);
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  // Wall-time measurement only: optimize_seconds is reported, never fed
+  // back into any decision (docs/quality.md "wallclock-in-core" policy).
+  const auto t0 = std::chrono::steady_clock::now();  // nbuf-lint: allow(wallclock-in-core)
   r.vg = optimize(r.tree, lib, options.vg);
-  const auto t1 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();  // nbuf-lint: allow(wallclock-in-core)
   r.optimize_seconds = std::chrono::duration<double>(t1 - t0).count();
 
   NBUF_TRACE_SPAN("tool.analyze_after");

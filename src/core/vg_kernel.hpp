@@ -21,15 +21,17 @@ namespace nbuf::core::detail {
 
 // Accumulates wall time into `*sink` on destruction; no-op when `sink` is
 // null (stats collection off), so the default path never reads the clock.
+// The clock reads feed VgStats phase timers only — stats output, never a
+// DP decision (docs/quality.md "wallclock-in-core" policy).
 class PhaseTimer {
  public:
   explicit PhaseTimer(double* sink) : sink_(sink) {
-    if (sink_) start_ = std::chrono::steady_clock::now();
+    if (sink_) start_ = std::chrono::steady_clock::now();  // nbuf-lint: allow(wallclock-in-core)
   }
   ~PhaseTimer() {
     if (sink_)
       *sink_ += std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - start_)
+                    std::chrono::steady_clock::now() - start_)  // nbuf-lint: allow(wallclock-in-core)
                     .count();
   }
   PhaseTimer(const PhaseTimer&) = delete;

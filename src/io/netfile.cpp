@@ -302,10 +302,10 @@ void write_net(std::ostream& out, const std::string& name,
           << w.coupling_current / uA << '\n';
     }
   }
-  // entries() iterates in unspecified (hash) order; sort by the node's
-  // preorder position so the same assignment always prints the same bytes.
-  // Preorder — not raw node id — because reading the file back renumbers
-  // ids in file order, and write -> read -> write must be the identity.
+  // entries() is node-id-sorted, but this writer orders buffer lines by
+  // the node's preorder position. Preorder — not raw node id — because
+  // reading the file back renumbers ids in file order, and
+  // write -> read -> write must be the identity.
   auto entries = buffers.entries();
   std::sort(entries.begin(), entries.end(),  // nbuf-lint: allow(sort)
             [&](const auto& a, const auto& b) {

@@ -30,9 +30,10 @@ void Gauge::add(double delta) noexcept {
 
 namespace {
 
-template <class Map, class Instrument>
-Instrument& get_or_create(std::mutex& mu, Map& map, std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu);
+// The caller holds the registry mutex (the analyzer checks this at every
+// call site — the map references below are all NBUF_GUARDED_BY(mu_)).
+template <class Instrument, class Map>
+Instrument& get_or_create(Map& map, std::string_view name) {
   auto it = map.find(name);
   if (it == map.end()) {
     it = map.emplace(std::string(name), std::make_unique<Instrument>())
@@ -44,20 +45,22 @@ Instrument& get_or_create(std::mutex& mu, Map& map, std::string_view name) {
 }  // namespace
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  return get_or_create<decltype(counters_), Counter>(mu_, counters_, name);
+  const util::MutexLock lock(mu_);
+  return get_or_create<Counter>(counters_, name);
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  return get_or_create<decltype(histograms_), Histogram>(mu_, histograms_,
-                                                         name);
+  const util::MutexLock lock(mu_);
+  return get_or_create<Histogram>(histograms_, name);
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  return get_or_create<decltype(gauges_), Gauge>(mu_, gauges_, name);
+  const util::MutexLock lock(mu_);
+  return get_or_create<Gauge>(gauges_, name);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_)

@@ -24,10 +24,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace nbuf::util {
 struct VgStats;
@@ -133,19 +134,22 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
-  Counter& counter(std::string_view name);
-  Histogram& histogram(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) NBUF_EXCLUDES(mu_);
+  Histogram& histogram(std::string_view name) NBUF_EXCLUDES(mu_);
+  Gauge& gauge(std::string_view name) NBUF_EXCLUDES(mu_);
 
-  [[nodiscard]] MetricsSnapshot snapshot() const;
+  [[nodiscard]] MetricsSnapshot snapshot() const NBUF_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable util::Mutex mu_;
   // unique_ptr for stable addresses across rehash-free map growth; the
-  // instruments themselves are atomic.
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  // instruments themselves are atomic, so only the maps are guarded.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      NBUF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      NBUF_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      NBUF_GUARDED_BY(mu_);
 };
 
 // Adapters: fold existing stat blocks into a registry under stable names.

@@ -11,12 +11,15 @@ namespace {
 // TraceRecording's constructor and stop(), which the threading contract
 // (trace.hpp) forbids racing with spans; the span fast path reads it with
 // one acquire load.
-std::atomic<TraceRecording*> g_active{nullptr};
+// Process-wide by design: the span macros must find the recording without
+// threading a context parameter through every DP call (docs/quality.md
+// "mutable-global" policy).
+std::atomic<TraceRecording*> g_active{nullptr};  // nbuf-lint: allow(mutable-global)
 
 // Monotone recording id: lets a thread's cached buffer pointer from a
 // previous recording be told apart from the current one without any
 // per-recording thread bookkeeping.
-std::atomic<std::uint64_t> g_next_generation{0};
+std::atomic<std::uint64_t> g_next_generation{0};  // nbuf-lint: allow(mutable-global)
 
 struct ThreadSlot {
   std::uint64_t generation = 0;  // 0 is never a real generation
@@ -60,7 +63,7 @@ TraceRecording::~TraceRecording() {
 }
 
 TraceBuffer* TraceRecording::register_thread() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   buffers_.push_back(std::make_unique<TraceBuffer>(epoch_));
   return buffers_.back().get();
 }
@@ -69,7 +72,7 @@ TraceData TraceRecording::stop() {
   NBUF_REQUIRE_MSG(!stopped_, "TraceRecording::stop() called twice");
   stopped_ = true;
   g_active.store(nullptr, std::memory_order_release);
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   TraceData data;
   data.threads.reserve(buffers_.size());
   for (std::size_t i = 0; i < buffers_.size(); ++i) {

@@ -37,11 +37,11 @@
 #include <concepts>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/contracts.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace nbuf::obs {
 
@@ -152,9 +152,10 @@ class TraceRecording {
   bool stopped_ = false;
   // Buffers are appended under the mutex (once per thread per recording)
   // and never reallocated out from under a writer (unique_ptr gives
-  // stable addresses).
-  std::mutex mu_;
-  std::vector<std::unique_ptr<TraceBuffer>> buffers_;
+  // stable addresses). Only the vector is guarded: each TraceBuffer is
+  // written solely by its registering thread until stop() joins them.
+  util::Mutex mu_;
+  std::vector<std::unique_ptr<TraceBuffer>> buffers_ NBUF_GUARDED_BY(mu_);
 };
 
 // RAII span. Prefer the macros; the constructor resolves the active

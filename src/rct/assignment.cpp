@@ -24,6 +24,7 @@ lib::BufferId BufferAssignment::at(NodeId node) const {
 
 std::vector<std::pair<NodeId, lib::BufferId>> BufferAssignment::entries()
     const {
+  // placed_ is an ordered map, so this is already sorted by node id.
   std::vector<std::pair<NodeId, lib::BufferId>> out(placed_.begin(),
                                                     placed_.end());
   return out;

@@ -5,7 +5,7 @@
 // none. |M| is the number of inserted buffers.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "lib/buffer.hpp"
@@ -27,7 +27,8 @@ class BufferAssignment {
   [[nodiscard]] std::size_t size() const noexcept { return placed_.size(); }
   [[nodiscard]] bool empty() const noexcept { return placed_.empty(); }
 
-  // (node, buffer) pairs in unspecified order.
+  // (node, buffer) pairs sorted by node id — deterministic, so callers
+  // may iterate without re-sorting (byte-identical output contract).
   [[nodiscard]] std::vector<std::pair<NodeId, lib::BufferId>> entries() const;
 
   // Checks every placement names an internal, buffer-allowed node of `tree`
@@ -41,7 +42,11 @@ class BufferAssignment {
                                  NodeId node) const;
 
  private:
-  std::unordered_map<NodeId, lib::BufferId> placed_;
+  // Ordered map, deliberately: every iteration (entries(), validate()) is
+  // then deterministic by construction. Assignments hold at most a few
+  // dozen buffers and are never touched in the DP inner loops, so the
+  // O(log n) lookup is noise — and no call site needs a recovery sort.
+  std::map<NodeId, lib::BufferId> placed_;
 };
 
 }  // namespace nbuf::rct

@@ -4,7 +4,6 @@
 #include <unistd.h>
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -12,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/socket.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace nbuf::serve {
 
@@ -24,19 +24,19 @@ struct Server::Impl {
   obs::MetricsRegistry registry;
 
   std::thread accept_thread;
-  std::mutex mu;        // guards conn_threads + live_fds
-  std::mutex join_mu;   // serializes wait()/stop() joins
-  std::vector<std::thread> conn_threads;
-  std::vector<int> live_fds;
+  util::Mutex mu;       // guards conn_threads + live_fds
+  util::Mutex join_mu;  // serializes wait()/stop() joins
+  std::vector<std::thread> conn_threads NBUF_GUARDED_BY(mu);
+  std::vector<int> live_fds NBUF_GUARDED_BY(mu);
   std::atomic<bool> stopping{false};
 
-  void track_fd(int fd) {
-    const std::lock_guard<std::mutex> lock(mu);
+  void track_fd(int fd) NBUF_EXCLUDES(mu) {
+    const util::MutexLock lock(mu);
     live_fds.push_back(fd);
   }
 
-  void untrack_fd(int fd) {
-    const std::lock_guard<std::mutex> lock(mu);
+  void untrack_fd(int fd) NBUF_EXCLUDES(mu) {
+    const util::MutexLock lock(mu);
     for (auto it = live_fds.begin(); it != live_fds.end(); ++it)
       if (*it == fd) {
         live_fds.erase(it);
@@ -44,12 +44,18 @@ struct Server::Impl {
       }
   }
 
+  // Half-closes every live connection so blocked reads return. Split out
+  // so the analyzer can check the lock discipline: the caller holds `mu`.
+  void shutdown_live_fds() NBUF_REQUIRES(mu) {
+    for (const int fd : live_fds) (void)::shutdown(fd, SHUT_RDWR);
+  }
+
   // Initiates shutdown without joining (safe from connection threads):
   // unblocks the accept thread and half-closes every live connection so
   // blocked reads return. The listener fd itself stays open until Impl is
   // destroyed — close(2) does not wake a thread blocked in accept(2), and
   // closing an fd another thread is using invites reuse races.
-  void request_stop() {
+  void request_stop() NBUF_EXCLUDES(mu) {
     if (stopping.exchange(true)) return;
     (void)::shutdown(listener.get(), SHUT_RDWR);
     // shutdown() on a listening socket is not guaranteed to wake a blocked
@@ -62,8 +68,8 @@ struct Server::Impl {
     } catch (const std::exception&) {
       // Listener already unreachable — accept() has returned or will.
     }
-    const std::lock_guard<std::mutex> lock(mu);
-    for (const int fd : live_fds) (void)::shutdown(fd, SHUT_RDWR);
+    const util::MutexLock lock(mu);
+    shutdown_live_fds();
   }
 
   void connection_loop(Fd fd) {
@@ -143,7 +149,7 @@ struct Server::Impl {
       if (!conn.valid()) break;  // listener closed by request_stop()
       if (stopping.load()) break;
       track_fd(conn.get());
-      const std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       conn_threads.emplace_back(
           [this, c = std::move(conn)]() mutable {
             connection_loop(std::move(c));
@@ -171,12 +177,12 @@ void Server::start() {
 std::uint16_t Server::port() const noexcept { return impl_->bound_port; }
 
 void Server::wait() {
-  const std::lock_guard<std::mutex> join_lock(impl_->join_mu);
+  const util::MutexLock join_lock(impl_->join_mu);
   if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
   // Joining the accept thread means no new connections; drain the rest.
   std::vector<std::thread> threads;
   {
-    const std::lock_guard<std::mutex> lock(impl_->mu);
+    const util::MutexLock lock(impl_->mu);
     threads.swap(impl_->conn_threads);
   }
   for (std::thread& t : threads) t.join();

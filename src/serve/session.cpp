@@ -196,13 +196,9 @@ struct Session::Impl {
     out += "timing_met " + std::string(r.timing_met ? "1" : "0") + "\n";
     out += "buffer_count " + std::to_string(r.buffer_count) + "\n";
     out += "slack " + fmt_g(r.slack) + "\n";
-    auto entries = r.buffers.entries();
-    // Response rendering, not a DP hot path: the wire format promises
-    // node-ordered buffer lines regardless of assignment iteration order.
-    std::sort(entries.begin(), entries.end(),  // nbuf-lint: allow(sort)
-              [](const auto& a, const auto& b) {
-                return a.first.value() < b.first.value();
-              });
+    // entries() is sorted by node id, which is exactly the node-ordered
+    // buffer-line promise of the wire format.
+    const auto entries = r.buffers.entries();
     for (const auto& [node, type] : entries)
       out += "buffer " + std::to_string(node.value()) + " " +
              ctx.library().at(type).name + "\n";

@@ -1,0 +1,116 @@
+// Clang thread-safety (capability) annotations + the project's lock types.
+//
+// The repo's central concurrency contract — results bit-identical at any
+// thread count — is enforced three ways, strongest first:
+//
+//   1. statically, by Clang's capability analysis over the annotations in
+//      this header (the blocking `thread-safety` CI lane compiles the whole
+//      tree with -Werror=thread-safety -Wthread-safety-beta);
+//   2. dynamically, by the blocking TSan lane;
+//   3. behaviorally, by the 1-vs-8-thread byte-identity tests.
+//
+// Every mutex-protected structure in the tree uses util::Mutex (an
+// annotated wrapper over std::mutex) and util::MutexLock (an annotated
+// scoped guard), never raw std::mutex: the analyzer can only prove what it
+// can see, and nbuf_lint's `raw-lock` rule keeps bare .lock()/.unlock()
+// calls out of src/ so every acquisition is scoped and annotated.
+//
+// The macros are the standard Clang set (NBUF_-prefixed, no-ops on GCC and
+// other non-Clang compilers, where the attributes are unknown):
+//
+//   NBUF_CAPABILITY(x)      type declares a capability (e.g. "mutex")
+//   NBUF_GUARDED_BY(mu)     data member readable/writable only under mu
+//   NBUF_PT_GUARDED_BY(mu)  pointee guarded by mu (the pointer itself free)
+//   NBUF_REQUIRES(mu)       caller must hold mu across the call
+//   NBUF_ACQUIRE(...)       function acquires the capability
+//   NBUF_RELEASE(...)       function releases the capability
+//   NBUF_TRY_ACQUIRE(b,mu)  acquires mu iff the function returns b
+//   NBUF_EXCLUDES(mu)       caller must NOT hold mu (deadlock guard)
+//   NBUF_ASSERT_CAPABILITY  runtime-asserted to hold (test helpers)
+//   NBUF_RETURN_CAPABILITY  function returns a reference to the capability
+//   NBUF_SCOPED_CAPABILITY  RAII type that acquires in ctor, releases in dtor
+//   NBUF_NO_THREAD_SAFETY_ANALYSIS  escape hatch — BANNED in src/ (the CI
+//                           lane greps for it; docs/quality.md)
+//
+// Worked example (docs/quality.md has the full walk-through):
+//
+//   class Registry {
+//     util::Mutex mu_;
+//     std::vector<Row> rows_ NBUF_GUARDED_BY(mu_);
+//    public:
+//     void add(Row r) {
+//       const util::MutexLock lock(mu_);   // compile error if forgotten
+//       rows_.push_back(std::move(r));
+//     }
+//   };
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define NBUF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define NBUF_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define NBUF_CAPABILITY(x) NBUF_THREAD_ANNOTATION_(capability(x))
+#define NBUF_SCOPED_CAPABILITY NBUF_THREAD_ANNOTATION_(scoped_lockable)
+#define NBUF_GUARDED_BY(x) NBUF_THREAD_ANNOTATION_(guarded_by(x))
+#define NBUF_PT_GUARDED_BY(x) NBUF_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define NBUF_ACQUIRED_BEFORE(...) \
+  NBUF_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define NBUF_ACQUIRED_AFTER(...) \
+  NBUF_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define NBUF_REQUIRES(...) \
+  NBUF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define NBUF_REQUIRES_SHARED(...) \
+  NBUF_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define NBUF_ACQUIRE(...) \
+  NBUF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define NBUF_ACQUIRE_SHARED(...) \
+  NBUF_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define NBUF_RELEASE(...) \
+  NBUF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define NBUF_RELEASE_SHARED(...) \
+  NBUF_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define NBUF_TRY_ACQUIRE(...) \
+  NBUF_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define NBUF_EXCLUDES(...) NBUF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define NBUF_ASSERT_CAPABILITY(x) \
+  NBUF_THREAD_ANNOTATION_(assert_capability(x))
+#define NBUF_RETURN_CAPABILITY(x) NBUF_THREAD_ANNOTATION_(lock_returned(x))
+#define NBUF_NO_THREAD_SAFETY_ANALYSIS \
+  NBUF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace nbuf::util {
+
+// std::mutex with a capability the analyzer can track. libstdc++'s
+// std::mutex carries no annotations, so locking it directly is invisible
+// to the analysis; this wrapper is the only mutex type src/ uses.
+class NBUF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NBUF_ACQUIRE() { impl_.lock(); }
+  void unlock() NBUF_RELEASE() { impl_.unlock(); }
+  bool try_lock() NBUF_TRY_ACQUIRE(true) { return impl_.try_lock(); }
+
+ private:
+  std::mutex impl_;
+};
+
+// Scoped guard over util::Mutex — the only way src/ code takes a lock.
+class NBUF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) NBUF_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() NBUF_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace nbuf::util

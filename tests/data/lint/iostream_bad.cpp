@@ -1,0 +1,4 @@
+#include <iostream>
+namespace nbuf {
+void hello() { std::cout << "hi\n"; }
+}  // namespace nbuf

@@ -1,0 +1,7 @@
+#include <ostream>
+#include <string>
+namespace nbuf {
+// The banned directive quoted in text — #include <iostream> — is fine in
+// a comment, and fine in a string literal:
+const std::string kBanner = "#include <iostream>";
+}  // namespace nbuf

@@ -1,0 +1,6 @@
+namespace nbuf {
+namespace {
+int call_count = 0;
+}  // namespace
+double g_scale = 1.0;
+}  // namespace nbuf

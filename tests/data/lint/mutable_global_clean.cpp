@@ -1,0 +1,9 @@
+namespace nbuf {
+constexpr int kMaxBuffers = 64;
+const char* const kName = "nbuf";
+struct Config {
+  int threads = 1;
+};
+int parse(const char* text);
+inline int add(int a, int b) { return a + b; }
+}  // namespace nbuf

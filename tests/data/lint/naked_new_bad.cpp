@@ -1,0 +1,7 @@
+namespace nbuf {
+int* make() {
+  int* p = new int(7);
+  delete p;
+  return new int(9);
+}
+}  // namespace nbuf

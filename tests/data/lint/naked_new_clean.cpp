@@ -1,0 +1,9 @@
+#include <memory>
+namespace nbuf {
+struct Pinned {
+  Pinned() = default;
+  Pinned(const Pinned&) = delete;
+  Pinned& operator=(const Pinned&) = delete;
+};
+std::unique_ptr<int> make() { return std::make_unique<int>(7); }
+}  // namespace nbuf

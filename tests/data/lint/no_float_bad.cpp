@@ -1,0 +1,5 @@
+namespace nbuf {
+float attenuate(float v) {
+  return v * 2;
+}
+}  // namespace nbuf

@@ -1,0 +1,5 @@
+namespace nbuf {
+// "float" in a comment or a string literal is not arithmetic:
+const char* const kNote = "float is banned in the numeric core";
+double attenuate(double v) { return v * 0.5; }
+}  // namespace nbuf

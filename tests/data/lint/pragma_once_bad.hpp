@@ -1,0 +1,4 @@
+// A header that forgot its include guard.
+namespace nbuf {
+struct Empty {};
+}  // namespace nbuf

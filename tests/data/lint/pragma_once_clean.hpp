@@ -1,0 +1,4 @@
+#pragma once
+namespace nbuf {
+struct Empty {};
+}  // namespace nbuf

@@ -1,0 +1,14 @@
+#include <mutex>
+namespace nbuf {
+void bump(std::mutex& mu, int& x) {
+  mu.lock();
+  ++x;
+  mu.unlock();
+}
+void poll(std::mutex* mu, int& x) {
+  if (mu->try_lock()) {
+    ++x;
+    mu->unlock();
+  }
+}
+}  // namespace nbuf

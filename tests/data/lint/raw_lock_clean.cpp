@@ -1,0 +1,7 @@
+#include "util/thread_annotations.hpp"
+namespace nbuf {
+void bump(util::Mutex& mu, int& x) {
+  const util::MutexLock hold(mu);
+  ++x;
+}
+}  // namespace nbuf

@@ -1,0 +1,14 @@
+#include <algorithm>
+#include <vector>
+namespace nbuf {
+// v1 regression: the raw string below contains text that reads like a
+// std::sort call and like an allow marker; neither is code, and the
+// marker must not suppress anything.
+const char* const kDoc = R"doc(
+  std::sort(v.begin(), v.end());
+  // nbuf-lint: allow(sort)
+)doc";
+void order(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+}
+}  // namespace nbuf

@@ -1,0 +1,7 @@
+#include <algorithm>
+#include <vector>
+namespace nbuf {
+void order(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+}
+}  // namespace nbuf

@@ -1,0 +1,8 @@
+#include <algorithm>
+#include <vector>
+namespace nbuf {
+void order(std::vector<int>& v) {
+  // Justified: one-shot canonicalization at the I/O boundary.
+  std::sort(v.begin(), v.end());  // nbuf-lint: allow(sort)
+}
+}  // namespace nbuf

@@ -1,0 +1,11 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+namespace nbuf {
+// v1 regression: an allow marker inside a string literal on the same
+// line must NOT suppress the finding; only trailing comments count.
+void order(std::vector<int>& v, std::string& log) {
+  log += "nbuf-lint: allow(sort)"; std::sort(v.begin(), v.end());
+  std::sort(v.begin(), v.end());  // nbuf-lint: allow(sort)
+}
+}  // namespace nbuf

@@ -1,0 +1,13 @@
+#include <unordered_map>
+#include <utility>
+#include <vector>
+namespace nbuf {
+double total(const std::vector<std::pair<int, double>>& items) {
+  std::unordered_map<int, double> weights;
+  for (const auto& it : items) weights[it.first] += it.second;
+  double sum = 0.0;
+  for (const auto& [k, w] : weights) sum += w * k;
+  for (auto it = weights.begin(); it != weights.end(); ++it) sum += 1.0;
+  return sum;
+}
+}  // namespace nbuf

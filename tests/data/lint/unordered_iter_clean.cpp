@@ -1,0 +1,16 @@
+#include <map>
+#include <unordered_map>
+namespace nbuf {
+// Point lookups into an unordered container are deterministic; only
+// iteration order is unspecified.
+double lookup(const std::unordered_map<int, double>& weights, int key) {
+  const auto it = weights.find(key);
+  return it == weights.end() ? 0.0 : it->second;
+}
+// Iterating an ordered map is fine.
+double total(const std::map<int, double>& ordered) {
+  double sum = 0.0;
+  for (const auto& [k, w] : ordered) sum += w * k;
+  return sum;
+}
+}  // namespace nbuf

@@ -1,0 +1,9 @@
+#include <chrono>
+#include <ctime>
+namespace nbuf {
+double stamp() {
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)t0;
+  return static_cast<double>(time(nullptr));
+}
+}  // namespace nbuf

@@ -1,0 +1,242 @@
+// A small C++ lexer for nbuf_lint — tokens, not per-line regexes.
+//
+// nbuf_lint v1 scanned stripped lines with string searches; that design
+// could not see raw-string literals (`R"(...)"`), string state reset at
+// every newline, and suppression markers inside string literals were
+// honored. The lexer fixes the class of bugs, not the instances: it
+// produces a token stream with file positions, where comments, string /
+// character literals (including multi-line raw strings), numbers (with
+// digit separators), identifiers, and punctuation are distinct token
+// kinds, and preprocessor directives (with backslash continuations) are
+// flagged per token. Rules then match token sequences and suppressions
+// match only inside comment tokens.
+//
+// The lexer is deliberately lossless and resilient: every character of
+// the input is covered by some token or by skipped whitespace, and
+// malformed input (unterminated literals or comments) ends the current
+// token at the newline or end-of-file instead of cascading.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace nbuf::lint {
+
+enum class Tok {
+  Identifier,  // keywords are identifiers too; rules compare text
+  Number,      // integer / floating literal, digit separators included
+  String,      // "..."  u8"..."  L"..."  R"delim(...)delim"  (any prefix)
+  CharLit,     // 'x', including escapes and multi-char literals
+  Comment,     // // to end of line, or /* ... */ (may span lines)
+  Punct,       // one operator/punctuator; "::" and "->" are single tokens
+};
+
+struct Token {
+  Tok kind = Tok::Punct;
+  std::string_view text;      // exact source slice, delimiters included
+  std::size_t line = 0;       // 1-based line of the token's first char
+  bool in_directive = false;  // token lies on a preprocessor line
+};
+
+namespace detail {
+
+inline bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+inline bool ident_char(char c) {
+  return ident_start(c) || (c >= '0' && c <= '9');
+}
+inline bool digit(char c) { return c >= '0' && c <= '9'; }
+
+// Encoding prefixes that may precede a string/char literal.
+inline bool string_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+inline bool raw_string_prefix(std::string_view id) {
+  return id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+}  // namespace detail
+
+// Lexes `src` in one pass. The returned tokens view into `src`, which must
+// outlive them.
+inline std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  std::size_t line = 1;
+  bool in_directive = false;   // inside a preprocessor directive
+  bool line_has_code = false;  // non-whitespace seen on this line yet
+
+  const auto peek = [&](std::size_t off) -> char {
+    return i + off < src.size() ? src[i + off] : '\0';
+  };
+  const auto push = [&](Tok kind, std::size_t begin, std::size_t tok_line) {
+    out.push_back(
+        Token{kind, src.substr(begin, i - begin), tok_line, in_directive});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      in_directive = false;
+      line_has_code = false;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      ++i;
+      continue;
+    }
+    // Backslash-newline: the directive (and the logical line) continues.
+    if (c == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+      i += peek(1) == '\r' ? 3 : 2;
+      ++line;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t begin = i;
+      while (i < src.size() && src[i] != '\n') ++i;
+      push(Tok::Comment, begin, line);
+      line_has_code = true;
+      continue;
+    }
+    // Block comment (may span lines).
+    if (c == '/' && peek(1) == '*') {
+      const std::size_t begin = i;
+      const std::size_t begin_line = line;
+      i += 2;
+      while (i < src.size() && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < src.size()) i += 2;  // consume "*/"
+      push(Tok::Comment, begin, begin_line);
+      line_has_code = true;
+      continue;
+    }
+
+    // A '#' that opens the line starts a preprocessor directive.
+    if (c == '#' && !line_has_code) {
+      in_directive = true;
+      line_has_code = true;
+      const std::size_t begin = i;
+      ++i;
+      push(Tok::Punct, begin, line);
+      continue;
+    }
+    line_has_code = true;
+
+    // Identifier — possibly a string/char-literal encoding prefix.
+    if (detail::ident_start(c)) {
+      const std::size_t begin = i;
+      while (i < src.size() && detail::ident_char(src[i])) ++i;
+      const std::string_view id = src.substr(begin, i - begin);
+      if (detail::raw_string_prefix(id) && peek(0) == '"') {
+        // Raw string: R"delim( ... )delim" — may span lines, no escapes.
+        const std::size_t begin_line = line;
+        ++i;  // consume '"'
+        std::size_t d0 = i;
+        while (i < src.size() && src[i] != '(' && src[i] != '\n') ++i;
+        const std::string_view delim = src.substr(d0, i - d0);
+        if (peek(0) == '(') {
+          ++i;
+          for (; i < src.size(); ++i) {
+            if (src[i] == '\n') {
+              ++line;
+              continue;
+            }
+            if (src[i] == ')' &&
+                src.compare(i + 1, delim.size(), delim) == 0 &&
+                i + 1 + delim.size() < src.size() &&
+                src[i + 1 + delim.size()] == '"') {
+              i += delim.size() + 2;  // ")delim\""
+              break;
+            }
+          }
+        }
+        out.push_back(Token{Tok::String, src.substr(begin, i - begin),
+                            begin_line, in_directive});
+        continue;
+      }
+      if ((detail::string_prefix(id) || detail::raw_string_prefix(id)) &&
+          (peek(0) == '"' || peek(0) == '\'')) {
+        // Prefixed ordinary literal: fall through into the quote scanner
+        // below with the prefix folded into the token.
+        const char quote = src[i];
+        ++i;
+        while (i < src.size() && src[i] != quote && src[i] != '\n') {
+          if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] != '\n')
+            ++i;
+          ++i;
+        }
+        if (i < src.size() && src[i] == quote) ++i;
+        push(quote == '"' ? Tok::String : Tok::CharLit, begin, line);
+        continue;
+      }
+      push(Tok::Identifier, begin, line);
+      continue;
+    }
+
+    // Number (handles digit separators: 1'000'000, hex, exponents).
+    if (detail::digit(c) || (c == '.' && detail::digit(peek(1)))) {
+      const std::size_t begin = i;
+      ++i;
+      while (i < src.size()) {
+        const char n = src[i];
+        if (detail::ident_char(n) || n == '.') {
+          ++i;
+          continue;
+        }
+        if (n == '\'' && detail::ident_char(peek(1))) {
+          i += 2;  // digit separator
+          continue;
+        }
+        if ((n == '+' || n == '-') &&
+            (src[i - 1] == 'e' || src[i - 1] == 'E' || src[i - 1] == 'p' ||
+             src[i - 1] == 'P')) {
+          ++i;  // signed exponent
+          continue;
+        }
+        break;
+      }
+      push(Tok::Number, begin, line);
+      continue;
+    }
+
+    // Ordinary string / char literal (single line; an unterminated
+    // literal ends at the newline so one bad line cannot poison the file).
+    if (c == '"' || c == '\'') {
+      const std::size_t begin = i;
+      const char quote = c;
+      ++i;
+      while (i < src.size() && src[i] != quote && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < src.size() && src[i + 1] != '\n') ++i;
+        ++i;
+      }
+      if (i < src.size() && src[i] == quote) ++i;
+      push(quote == '"' ? Tok::String : Tok::CharLit, begin, line);
+      continue;
+    }
+
+    // Punctuation: keep "::" and "->" whole (rules match on them), emit
+    // everything else one char at a time ('>' stays single so template
+    // argument depth counting is uniform).
+    {
+      const std::size_t begin = i;
+      if ((c == ':' && peek(1) == ':') || (c == '-' && peek(1) == '>'))
+        i += 2;
+      else
+        ++i;
+      push(Tok::Punct, begin, line);
+      continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace nbuf::lint

@@ -3,190 +3,40 @@
 //   nbuf_lint <repo-root>
 //
 // Walks src/, tools/ and bench/ and enforces the project's mechanical
-// style contracts that neither the compiler nor clang-tidy expresses:
+// style and determinism contracts that neither the compiler nor
+// clang-tidy expresses. The rules, their rationale, and the suppression
+// policy live in tools/lint/rules.hpp and docs/quality.md; the token
+// stream they match over comes from tools/lint/lexer.hpp (v2 — the
+// per-line regex scanner could not see raw strings or multi-line
+// literals, and honored suppression markers inside string literals).
 //
-//   sort         std::sort in src/ outside the reference kernel
-//                (src/core/vanginneken.cpp keeps the paper's per-prune
-//                sort as the oracle; everywhere else sorting is a
-//                deliberate, documented act — docs/quality.md)
-//   naked-new    whole-word `new` / `delete` expressions in src/ —
-//                ownership lives in containers and value types
-//   iostream     #include <iostream> in library code (src/) — the
-//                libraries must not drag in static iostream initializers;
-//                printing belongs to tools/ and bench/
-//   pragma-once  every header under src/, tools/, bench/ must contain
-//                #pragma once
-//   no-float     whole-word `float` in noise/delay math (src/noise,
-//                src/elmore, src/core, src/sim) — all electrical
-//                arithmetic is double; a stray float silently halves
-//                the precision of every slack downstream
-//
-// A finding on one line is suppressed by a trailing marker on that line:
+// A finding on one line is suppressed by a marker in a comment that
+// starts on that line:
 //
 //   std::sort(v.begin(), v.end());  // nbuf-lint: allow(sort)
 //
 // Exit status: 0 when clean, 1 with findings (one "file:line: rule:
 // message" diagnostic per finding), 2 on usage errors.
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
+
+#include "lint/rules.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding {
-  std::string file;
-  std::size_t line;
-  const char* rule;
-  std::string message;
-};
-
-// Replaces comments and string/character literals with spaces so the code
-// rules never fire on prose or quoted text. Tracks /* */ state across
-// lines via `in_block`.
-std::string strip_noise(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') break;
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      in_block = true;
-      out.push_back(' ');
-      ++i;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.push_back(' ');
-      for (++i; i < line.size(); ++i) {
-        if (line[i] == '\\') {
-          ++i;
-          out.push_back(' ');
-          if (i < line.size()) out.push_back(' ');
-          continue;
-        }
-        if (line[i] == quote) break;
-        out.push_back(' ');
-      }
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-bool is_word_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-         (c >= '0' && c <= '9') || c == '_';
-}
-
-// First whole-word occurrence of `word` in `code`, or npos.
-std::size_t find_word(const std::string& code, const char* word) {
-  const std::size_t n = std::strlen(word);
-  for (std::size_t pos = code.find(word); pos != std::string::npos;
-       pos = code.find(word, pos + 1)) {
-    const bool left_ok = pos == 0 || !is_word_char(code[pos - 1]);
-    const bool right_ok =
-        pos + n >= code.size() || !is_word_char(code[pos + n]);
-    if (left_ok && right_ok) return pos;
-  }
-  return std::string::npos;
-}
-
-// True when the line carries `// nbuf-lint: allow(<rule>)` for this rule.
-bool suppressed(const std::string& raw_line, const char* rule) {
-  const std::string marker =
-      std::string("nbuf-lint: allow(") + rule + ")";
-  return raw_line.find(marker) != std::string::npos;
-}
-
-bool starts_with(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-void lint_file(const fs::path& abs, const std::string& rel,
-               std::vector<Finding>& findings) {
-  std::ifstream in(abs);
-  if (!in) {
-    findings.push_back({rel, 0, "io", "cannot open file"});
-    return;
-  }
-  const bool is_header = abs.extension() == ".hpp";
-  const bool in_src = starts_with(rel, "src/");
-  const bool in_numeric_src =
-      starts_with(rel, "src/noise/") || starts_with(rel, "src/elmore/") ||
-      starts_with(rel, "src/core/") || starts_with(rel, "src/sim/");
-  // The reference kernel keeps the paper's sort-based prune as the oracle
-  // the fast kernel is differential-tested against.
-  const bool sort_whitelisted = rel == "src/core/vanginneken.cpp";
-
-  bool has_pragma_once = false;
-  bool in_block_comment = false;
-  std::string raw;
-  std::size_t lineno = 0;
-  while (std::getline(in, raw)) {
-    ++lineno;
-    if (raw.find("#pragma once") != std::string::npos)
-      has_pragma_once = true;
-    const std::string code = strip_noise(raw, in_block_comment);
-
-    if (in_src && !sort_whitelisted &&
-        code.find("std::sort(") != std::string::npos &&
-        !suppressed(raw, "sort"))
-      findings.push_back(
-          {rel, lineno, "sort",
-           "std::sort outside the reference kernel; keep lists sorted "
-           "incrementally or annotate why a full sort is required"});
-
-    if (in_src && find_word(code, "new") != std::string::npos &&
-        !suppressed(raw, "naked-new"))
-      findings.push_back({rel, lineno, "naked-new",
-                          "naked new in library code; use containers or "
-                          "value semantics"});
-
-    if (in_src) {
-      const std::size_t pos = find_word(code, "delete");
-      // `= delete;` (deleted special member) is fine; a delete-expression
-      // is not.
-      if (pos != std::string::npos && !suppressed(raw, "naked-new")) {
-        std::size_t prev = pos;
-        while (prev > 0 && code[prev - 1] == ' ') --prev;
-        if (prev == 0 || code[prev - 1] != '=')
-          findings.push_back({rel, lineno, "naked-new",
-                              "naked delete in library code; ownership "
-                              "belongs to containers or value types"});
-      }
-    }
-
-    if (in_src && code.find("#include") != std::string::npos &&
-        code.find("<iostream>") != std::string::npos &&
-        !suppressed(raw, "iostream"))
-      findings.push_back({rel, lineno, "iostream",
-                          "<iostream> in library code; printing belongs "
-                          "to tools/ and bench/"});
-
-    if (in_numeric_src && find_word(code, "float") != std::string::npos &&
-        !suppressed(raw, "no-float"))
-      findings.push_back({rel, lineno, "no-float",
-                          "float in noise/delay math; all electrical "
-                          "arithmetic must be double"});
-  }
-  if (is_header && !has_pragma_once)
-    findings.push_back(
-        {rel, 1, "pragma-once", "header is missing #pragma once"});
+bool read_file(const fs::path& p, std::string& out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
 }
 
 }  // namespace
@@ -202,7 +52,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Finding> findings;
+  std::vector<nbuf::lint::Finding> findings;
   std::size_t files = 0;
   for (const char* top : {"src", "tools", "bench"}) {
     const fs::path dir = root / top;
@@ -213,15 +63,28 @@ int main(int argc, char** argv) {
       const fs::path ext = e.path().extension();
       if (ext != ".cpp" && ext != ".hpp") continue;
       ++files;
-      const std::string rel =
-          fs::relative(e.path(), root).generic_string();
-      lint_file(e.path(), rel, findings);
+      nbuf::lint::FileInput in;
+      in.rel_path = fs::relative(e.path(), root).generic_string();
+      if (!read_file(e.path(), in.content)) {
+        findings.push_back({in.rel_path, 0, "io", "cannot open file"});
+        continue;
+      }
+      if (ext == ".cpp") {
+        // The sibling header's declarations are visible to this
+        // translation unit; unordered-iter tracks its members too.
+        fs::path header = e.path();
+        header.replace_extension(".hpp");
+        if (fs::is_regular_file(header))
+          (void)read_file(header, in.header_content);
+      }
+      std::vector<nbuf::lint::Finding> f = nbuf::lint::lint_file(in);
+      findings.insert(findings.end(), f.begin(), f.end());
     }
   }
 
-  for (const Finding& f : findings)
+  for (const nbuf::lint::Finding& f : findings)
     std::fprintf(stderr, "%s:%zu: %s: %s\n", f.file.c_str(), f.line,
-                 f.rule, f.message.c_str());
+                 f.rule.c_str(), f.message.c_str());
   std::printf("nbuf_lint: %zu file(s), %zu finding(s)\n", files,
               findings.size());
   return findings.empty() ? 0 : 1;
