@@ -1,0 +1,258 @@
+// figM: SoA fast-kernel SIMD ablation — three-way A/B/C per workload.
+//
+//   * Reference — the seed kernel, the bit-identity oracle;
+//   * fast, simd=off — SoA lanes, every sweep through the scalar fallback;
+//   * fast, simd=auto — the same sweeps under `#pragma omp simd` when the
+//     build compiled them (CMake NBUF_SIMD=auto; core/soa_sweeps.hpp).
+//
+// Workloads are the acceptance shapes of figI: 512-site two-pin chains
+// segmented at 500 µm (noise-constrained BuffOpt and delay-only DelayOpt)
+// and the netgen 500-net batch at one thread. Every row cross-checks all
+// three variants for bit-identical results (slack bits, buffer counts, DP
+// counters) — the runtime half of the contract that
+// tests/test_soa_kernel's scalar-vs-SIMD self-differential pins per sweep
+// — and any mismatch fails the run (exit 1). Lane utilization of the
+// simd=auto run (full-vector vs scalar-tail sweep elements) rides along so
+// regressions in sweep batching are visible without a profiler.
+//
+//   figM_soa_ablation [--quick] [--out BENCH_soa.json]
+//
+// writes {"bench": "figM_soa_ablation", "simd_compiled": ..., "rows":
+// [{name, sites, nets, ref_seconds, scalar_seconds, simd_seconds,
+// speedup_scalar, speedup_simd, simd_over_scalar, soa_full_lane_elems,
+// soa_tail_elems, identical_results}, ...]} plus one stdout line per row.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "common/workload.hpp"
+#include "core/vanginneken.hpp"
+#include "seg/segment.hpp"
+#include "steiner/builders.hpp"
+#include "util/units.hpp"
+
+namespace {
+
+using namespace nbuf;
+using namespace nbuf::units;
+using Clock = std::chrono::steady_clock;
+
+rct::Driver drv() { return rct::Driver{"d", 150.0, 30 * ps}; }
+
+rct::SinkInfo snk() {
+  rct::SinkInfo s;
+  s.name = "s";
+  s.cap = 15.0 * fF;
+  s.noise_margin = 0.8;
+  s.required_arrival = 2.0 * ns;
+  return s;
+}
+
+struct Row {
+  std::string name;
+  std::size_t sites = 0;  // candidate sites (serial rows)
+  std::size_t nets = 0;   // workload size (batch rows)
+  double ref_seconds = 0.0;
+  double scalar_seconds = 0.0;  // fast kernel, SimdMode::Off
+  double simd_seconds = 0.0;    // fast kernel, SimdMode::Auto
+  std::size_t full_lane_elems = 0;  // simd=auto run's sweep utilization
+  std::size_t tail_elems = 0;
+  bool identical = false;  // ref == scalar == simd, bit for bit
+
+  [[nodiscard]] double speedup_scalar() const {
+    return scalar_seconds > 0.0 ? ref_seconds / scalar_seconds : 0.0;
+  }
+  [[nodiscard]] double speedup_simd() const {
+    return simd_seconds > 0.0 ? ref_seconds / simd_seconds : 0.0;
+  }
+  [[nodiscard]] double simd_over_scalar() const {
+    return simd_seconds > 0.0 ? scalar_seconds / simd_seconds : 0.0;
+  }
+};
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool same_result(const core::VgResult& a, const core::VgResult& b) {
+  return a.feasible == b.feasible && a.slack == b.slack &&
+         a.buffer_count == b.buffer_count &&
+         a.stats.candidates_generated == b.stats.candidates_generated &&
+         a.stats.pruned_inferior == b.stats.pruned_inferior &&
+         a.stats.pruned_infeasible == b.stats.pruned_infeasible &&
+         a.stats.merged == b.stats.merged &&
+         a.stats.peak_list_size == b.stats.peak_list_size;
+}
+
+// Best-of-`reps` wall time for one (kernel, simd) variant on one segmented
+// net; the last run's result feeds the three-way identity cross-check.
+double time_serial(const rct::RoutingTree& segmented,
+                   const lib::BufferLibrary& library, core::VgOptions opt,
+                   core::VgKernel kernel, core::SimdMode simd, int reps,
+                   core::VgResult* out) {
+  opt.kernel = kernel;
+  opt.simd = simd;
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    auto res = core::optimize(segmented, library, opt);
+    const double dt = seconds_since(t0);
+    if (r == 0 || dt < best) best = dt;
+    if (out != nullptr) *out = std::move(res);
+  }
+  return best;
+}
+
+Row serial_row(const std::string& name, std::size_t sites,
+               const lib::BufferLibrary& library, const core::VgOptions& opt,
+               int reps) {
+  auto t = steiner::make_two_pin(500.0 * static_cast<double>(sites), drv(),
+                                 snk(), lib::default_technology());
+  seg::segment(t, {500.0});
+  Row row;
+  row.name = name;
+  row.sites = sites;
+  core::VgResult ref, scalar, simd;
+  row.ref_seconds = time_serial(t, library, opt, core::VgKernel::Reference,
+                                core::SimdMode::Auto, reps, &ref);
+  row.scalar_seconds = time_serial(t, library, opt, core::VgKernel::Fast,
+                                   core::SimdMode::Off, reps, &scalar);
+  row.simd_seconds = time_serial(t, library, opt, core::VgKernel::Fast,
+                                 core::SimdMode::Auto, reps, &simd);
+  row.full_lane_elems = simd.stats.soa_full_lane_elems;
+  row.tail_elems = simd.stats.soa_tail_elems;
+  row.identical = same_result(scalar, ref) && same_result(simd, ref);
+  return row;
+}
+
+double time_batch(const std::vector<batch::BatchNet>& nets,
+                  const lib::BufferLibrary& library, core::VgKernel kernel,
+                  core::SimdMode simd, batch::BatchSummary* out) {
+  batch::BatchOptions opt;
+  opt.threads = 1;  // serial: isolate kernel cost from pool scheduling
+  opt.tool.vg.kernel = kernel;
+  opt.tool.vg.simd = simd;
+  const batch::BatchEngine engine(opt);
+  const auto res = engine.run(nets, library);
+  if (out != nullptr) *out = res.summary;
+  return res.summary.wall_seconds;
+}
+
+bool same_summary(const batch::BatchSummary& a, const batch::BatchSummary& b) {
+  return a.buffers_inserted == b.buffers_inserted &&
+         a.feasible == b.feasible &&
+         a.stats.candidates_generated == b.stats.candidates_generated &&
+         a.stats.pruned_inferior == b.stats.pruned_inferior &&
+         a.stats.pruned_infeasible == b.stats.pruned_infeasible &&
+         a.stats.merged == b.stats.merged &&
+         a.stats.peak_list_size == b.stats.peak_list_size;
+}
+
+Row batch_row(const std::vector<batch::BatchNet>& nets,
+              const lib::BufferLibrary& library) {
+  Row row;
+  row.name = "batch_buffopt_t1";
+  row.nets = nets.size();
+  batch::BatchSummary ref, scalar, simd;
+  row.ref_seconds = time_batch(nets, library, core::VgKernel::Reference,
+                               core::SimdMode::Auto, &ref);
+  row.scalar_seconds = time_batch(nets, library, core::VgKernel::Fast,
+                                  core::SimdMode::Off, &scalar);
+  row.simd_seconds = time_batch(nets, library, core::VgKernel::Fast,
+                                core::SimdMode::Auto, &simd);
+  row.full_lane_elems = simd.stats.soa_full_lane_elems;
+  row.tail_elems = simd.stats.soa_tail_elems;
+  row.identical = same_summary(scalar, ref) && same_summary(simd, ref);
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"figM_soa_ablation\",\n"
+               "  \"simd_compiled\": %s,\n  \"rows\": [\n",
+               core::simd_compiled() ? "true" : "false");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"sites\": %zu, \"nets\": %zu, "
+        "\"ref_seconds\": %.6f, \"scalar_seconds\": %.6f, "
+        "\"simd_seconds\": %.6f, \"speedup_scalar\": %.3f, "
+        "\"speedup_simd\": %.3f, \"simd_over_scalar\": %.3f, "
+        "\"soa_full_lane_elems\": %zu, \"soa_tail_elems\": %zu, "
+        "\"identical_results\": %s}%s\n",
+        r.name.c_str(), r.sites, r.nets, r.ref_seconds, r.scalar_seconds,
+        r.simd_seconds, r.speedup_scalar(), r.speedup_simd(),
+        r.simd_over_scalar(), r.full_lane_elems, r.tail_elems,
+        r.identical ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_soa.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto library = lib::default_library();
+  const std::size_t sites = quick ? 128 : 512;
+  const int reps = quick ? 1 : 3;
+  std::vector<Row> rows;
+
+  {
+    core::VgOptions opt;  // BuffOpt shape: noise-constrained
+    opt.max_buffers = 24;
+    rows.push_back(serial_row("chain_buffopt", sites, library, opt, reps));
+  }
+  {
+    core::VgOptions opt;
+    opt.noise_constraints = false;
+    opt.max_buffers = 24;
+    rows.push_back(serial_row("chain_delayopt", sites, library, opt, reps));
+  }
+  rows.push_back(batch_row(bench::sized_testbench(library, quick ? 60 : 500),
+                           library));
+
+  std::printf("== figM: SoA SIMD ablation (reference / scalar / simd) ==\n");
+  std::printf("simd compiled into this build: %s\n",
+              core::simd_compiled() ? "yes" : "no (scalar == simd rows)");
+  bool all_identical = true;
+  for (const Row& r : rows) {
+    all_identical = all_identical && r.identical;
+    std::printf(
+        "%-16s sites=%-4zu nets=%-4zu ref=%.4fs scalar=%.4fs simd=%.4fs  "
+        "fast/ref=%.2fx simd/scalar=%.2fx  lanes=%zu/%zu  identical=%s\n",
+        r.name.c_str(), r.sites, r.nets, r.ref_seconds, r.scalar_seconds,
+        r.simd_seconds, r.speedup_simd(), r.simd_over_scalar(),
+        r.full_lane_elems, r.tail_elems, r.identical ? "yes" : "NO");
+  }
+  write_json(out, rows);
+  if (!all_identical) {
+    std::printf("FAIL: variants disagree — the SoA/SIMD bit-identity "
+                "contract is broken\n");
+    return 1;
+  }
+  return 0;
+}

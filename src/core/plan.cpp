@@ -41,6 +41,30 @@ const PlanCell* PlanArena::merge(const PlanCell* left, const PlanCell* right) {
   return &cells_.back();
 }
 
+// The ref builders delegate to the pointer builders (one code path for the
+// cell payload checks) and hand back the index of the appended cell. A
+// PlanRef is 32-bit; one DP run materializing 2^32 cells would long since
+// have exhausted memory, but the contract makes the limit explicit.
+PlanRef PlanArena::buffer_ref(PlanRef prev, PlannedBuffer placement) {
+  buffer(cell(prev), placement);
+  NBUF_ASSERT(cells_.size() < UINT32_MAX);
+  return static_cast<PlanRef>(cells_.size());
+}
+
+PlanRef PlanArena::wire_ref(PlanRef prev, PlannedWire choice) {
+  wire(cell(prev), choice);
+  NBUF_ASSERT(cells_.size() < UINT32_MAX);
+  return static_cast<PlanRef>(cells_.size());
+}
+
+PlanRef PlanArena::merge_ref(PlanRef left, PlanRef right) {
+  if (left == kNullPlan) return right;
+  if (right == kNullPlan) return left;
+  merge(cell(left), cell(right));
+  NBUF_ASSERT(cells_.size() < UINT32_MAX);
+  return static_cast<PlanRef>(cells_.size());
+}
+
 std::vector<PlannedBuffer> collect(const PlanCell* plan) {
   std::vector<PlannedBuffer> out;
   std::vector<const PlanCell*> stack;

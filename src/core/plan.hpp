@@ -12,6 +12,7 @@
 // emits, since it inserts at existing legal sites).
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
@@ -37,6 +38,15 @@ struct PlannedWire {
 
 class PlanArena;
 
+// Index-based handle to a PlanCell of one PlanArena: 0 is the empty
+// solution, any other value is cell index + 1. Packs a candidate's plan
+// into a 4-byte lane of the fast kernel's SoA candidate blocks
+// (core/soa.hpp) where a pointer would double the lane width; refs and
+// pointers address the same cells, so a ref converts to a pointer (and
+// back to the shared plan_compare/collect machinery) via PlanArena::cell.
+using PlanRef = std::uint32_t;
+inline constexpr PlanRef kNullPlan = 0;
+
 // One immutable cell of a candidate's solution DAG.
 struct PlanCell {
   enum class Kind { Buffer, Wire, Merge };
@@ -57,6 +67,19 @@ class PlanArena {
   const PlanCell* wire(const PlanCell* prev, PlannedWire choice);
   // Union of two branch solutions (either may be null).
   const PlanCell* merge(const PlanCell* left, const PlanCell* right);
+
+  // The PlanRef (index) forms of the three builders, for callers that store
+  // plans in 32-bit lanes. merge_ref shares the pointer form's shortcut: a
+  // one-sided merge returns the other side's existing ref, allocating
+  // nothing.
+  PlanRef buffer_ref(PlanRef prev, PlannedBuffer placement);
+  PlanRef wire_ref(PlanRef prev, PlannedWire choice);
+  PlanRef merge_ref(PlanRef left, PlanRef right);
+
+  // The cell a ref addresses; nullptr for kNullPlan.
+  [[nodiscard]] const PlanCell* cell(PlanRef ref) const {
+    return ref == kNullPlan ? nullptr : &cells_[ref - 1];
+  }
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return cells_.size();

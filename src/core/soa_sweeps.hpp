@@ -1,0 +1,247 @@
+// The branch-light lane sweeps of the fast Van Ginneken kernel's three hot
+// loops (fused dead+Pareto prune, lazy wire-offset flush, bucket-major
+// merge), factored out of vanginneken_fast.cpp so tests/test_soa_kernel can
+// drive them directly over the tail-loop regression corpus.
+//
+// Vectorization policy (docs/perf.md): a sweep body may carry
+// `#pragma omp simd` ONLY when it is strictly elementwise — iteration i
+// reads and writes lane slot i and nothing else — because then vector and
+// scalar execution perform the exact same IEEE operations per element and
+// the results are bit-identical (both kernel TUs additionally pin
+// -ffp-contract=off so no codegen path fuses a multiply-add the other
+// doesn't). Anything order-dependent — the running-best-slack Pareto
+// decision, stream compaction, reductions — stays in plain loops here.
+// The pragma text is only emitted when the TU is compiled with
+// NBUF_SIMD_ENABLED=1 (the CMake NBUF_SIMD=auto path adds -fopenmp-simd
+// and the define to the kernel TU); every sweep also takes a runtime
+// `simd` flag (VgOptions::simd) so one binary can A/B vector vs scalar —
+// the self-differential of tests/test_soa_kernel. The `unchecked-simd`
+// lint rule keeps `#pragma omp simd` out of every other file under src/.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/soa.hpp"
+
+namespace nbuf::core::detail::soa {
+
+#if defined(NBUF_SIMD_ENABLED) && NBUF_SIMD_ENABLED
+#define NBUF_SIMD_PRAGMA _Pragma("omp simd")
+inline constexpr bool kSimdCompiled = true;
+#else
+#define NBUF_SIMD_PRAGMA
+inline constexpr bool kSimdCompiled = false;
+#endif
+
+// Double lanes of the widest vector unit this build targets; feeds the
+// soa_full_lane_elems / soa_tail_elems utilization counters (a pure
+// function of sweep lengths — identical at any thread count and in both
+// simd modes).
+inline constexpr std::size_t kSimdLanes =
+#if defined(__AVX512F__)
+    8;
+#elif defined(__AVX__)
+    4;
+#elif defined(__SSE2__) || defined(__aarch64__) || defined(__ARM_NEON)
+    2;
+#else
+    1;
+#endif
+
+// Runs f(0), ..., f(n-1): under the omp-simd pragma when the build compiled
+// it AND the run asked for it, as a plain loop otherwise. f must be
+// elementwise (see the header comment) — the pragma asserts independence.
+template <class F>
+inline void sweep(bool simd, std::size_t n, F&& f) {
+  if (kSimdCompiled && simd) {
+    NBUF_SIMD_PRAGMA
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) f(i);
+  }
+}
+
+// One lazy wire offset materialized over a whole list: the reference
+// kernel's exact per-candidate expressions (vanginneken.cpp extend_wire),
+// elementwise over the lanes — the flagship SIMD sweep.
+inline void apply_wire(SoAList& l, const double res, const double cap,
+                       const double coupling, bool simd) {
+  double* load = l.load();
+  double* slack = l.slack();
+  double* current = l.current();
+  double* noise_slack = l.noise_slack();
+  double* dhat = l.dhat();
+  sweep(simd, l.size(), [=](std::size_t i) {
+    const double wire_delay = res * (cap / 2.0 + load[i]);
+    slack[i] -= wire_delay;
+    dhat[i] += wire_delay;
+    load[i] += cap;
+    noise_slack[i] -= res * (coupling / 2.0 + current[i]);
+    current[i] += coupling;
+  });
+}
+
+struct PruneResult {
+  std::size_t dead = 0;      // noise-dead candidates removed (NS < 0)
+  std::size_t inferior = 0;  // (load, slack)-dominated candidates removed
+  bool moved = false;        // whether any compaction ran
+};
+
+// The fused dead + Pareto prune over a cand_less-sorted list, the kernels'
+// exact decision order per element — dead first, then the running-best-
+// slack dominance test. Under noise constraints the alive mask comes from
+// one elementwise (vectorizable) sweep over the noise_slack lane; the
+// inherently sequential Pareto decision and the survivor compaction then
+// run as ONE fused in-place scan — a survivor's six lane slots move
+// together, and nothing moves at all until the first kill (the common case
+// on converged lists — soa_prunes_no_move). `keep` is caller-owned scratch.
+inline PruneResult prune_sweep(SoAList& l, bool noise, bool pareto,
+                               bool simd, std::vector<unsigned char>& keep) {
+  const std::size_t n = l.size();
+  PruneResult r;
+  if (n == 0 || (!noise && !pareto)) return r;
+  const unsigned char* k = nullptr;
+  if (noise) {
+    keep.resize(n);
+    unsigned char* kw = keep.data();
+    const double* ns = l.noise_slack();
+    sweep(simd, n, [=](std::size_t i) {
+      kw[i] = ns[i] >= 0.0 ? 1 : 0;
+    });
+    k = kw;
+  }
+  double* load = l.load();
+  double* slack = l.slack();
+  double* current = l.current();
+  double* noise_slack = l.noise_slack();
+  double* dhat = l.dhat();
+  PlanRef* plan = l.plan();
+  double best = -std::numeric_limits<double>::infinity();
+  std::size_t o = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (k != nullptr && k[i] == 0) {
+      ++r.dead;
+      continue;
+    }
+    if (pareto) {
+      if (slack[i] <= best) {
+        ++r.inferior;
+        continue;
+      }
+      best = slack[i];
+    }
+    if (o != i) {
+      load[o] = load[i];
+      slack[o] = slack[i];
+      current[o] = current[i];
+      noise_slack[o] = noise_slack[i];
+      dhat[o] = dhat[i];
+      plan[o] = plan[i];
+    }
+    ++o;
+  }
+  if (o != n) {
+    r.moved = true;
+    l.set_size(o);
+  }
+  return r;
+}
+
+// Sequential skeleton of the Van Ginneken two-list merge: walks the two
+// slack lanes with the reference kernel's exact advance rule (the side
+// whose slack binds advances; both on an exact tie) and records the index
+// pairs. The lane arithmetic is done afterwards by merge_fill.
+inline std::size_t emit_pairs(const CandSpan& a, const CandSpan& b,
+                              std::vector<std::uint32_t>& ia,
+                              std::vector<std::uint32_t>& jb) {
+  ia.clear();
+  jb.clear();
+  std::size_t i = 0, j = 0;
+  while (i < a.n && j < b.n) {
+    ia.push_back(static_cast<std::uint32_t>(i));
+    jb.push_back(static_cast<std::uint32_t>(j));
+    if (a.slack[i] < b.slack[j]) {
+      ++i;
+    } else if (b.slack[j] < a.slack[i]) {
+      ++j;
+    } else {
+      ++i;
+      ++j;
+    }
+  }
+  return ia.size();
+}
+
+// Elementwise body of the merge: appends the m paired combinations to dst's
+// value lanes as one gather sweep (sum / min / min / max — the reference
+// kernel's exact expressions). The plan lane of the appended range is NOT
+// filled here — arena allocation is sequential and stays with the caller.
+inline void merge_fill(const CandSpan& a, const CandSpan& b,
+                       const std::uint32_t* ia, const std::uint32_t* jb,
+                       std::size_t m, SoAList& dst, bool simd) {
+  const std::size_t base = dst.size();
+  dst.reserve(base + m);
+  dst.set_size(base + m);
+  double* load = dst.load() + base;
+  double* slack = dst.slack() + base;
+  double* current = dst.current() + base;
+  double* noise_slack = dst.noise_slack() + base;
+  double* dhat = dst.dhat() + base;
+  sweep(simd, m, [=](std::size_t o) {
+    const std::uint32_t i = ia[o];
+    const std::uint32_t j = jb[o];
+    load[o] = a.load[i] + b.load[j];
+    slack[o] = std::min(a.slack[i], b.slack[j]);
+    current[o] = a.current[i] + b.current[j];
+    noise_slack[o] = std::min(a.noise_slack[i], b.noise_slack[j]);
+    dhat[o] = std::max(a.dhat[i], b.dhat[j]);
+  });
+}
+
+// Reorders src by the index permutation `perm` into dst (cleared first) —
+// one gather sweep per lane. The permutation machinery (sorts, cascaded
+// run merges, tail merges) works on indices and pays this single gather
+// instead of repeatedly moving 48-byte structs.
+inline void gather(const SoAList& src, const std::uint32_t* perm,
+                   std::size_t n, SoAList& dst, bool simd) {
+  dst.clear();
+  dst.reserve(n);
+  dst.set_size(n);
+  {
+    const double* in = src.load();
+    double* out = dst.load();
+    sweep(simd, n, [=](std::size_t o) { out[o] = in[perm[o]]; });
+  }
+  {
+    const double* in = src.slack();
+    double* out = dst.slack();
+    sweep(simd, n, [=](std::size_t o) { out[o] = in[perm[o]]; });
+  }
+  {
+    const double* in = src.current();
+    double* out = dst.current();
+    sweep(simd, n, [=](std::size_t o) { out[o] = in[perm[o]]; });
+  }
+  {
+    const double* in = src.noise_slack();
+    double* out = dst.noise_slack();
+    sweep(simd, n, [=](std::size_t o) { out[o] = in[perm[o]]; });
+  }
+  {
+    const double* in = src.dhat();
+    double* out = dst.dhat();
+    sweep(simd, n, [=](std::size_t o) { out[o] = in[perm[o]]; });
+  }
+  {
+    const PlanRef* in = src.plan();
+    PlanRef* out = dst.plan();
+    sweep(simd, n, [=](std::size_t o) { out[o] = in[perm[o]]; });
+  }
+}
+
+}  // namespace nbuf::core::detail::soa

@@ -56,6 +56,24 @@ enum class VgKernel {
   Reference,
 };
 
+// Runtime dispatch of the fast kernel's vectorized SoA sweeps
+// (core/soa_sweeps.hpp). Auto runs the `#pragma omp simd` sweep bodies when
+// the build compiled them (CMake NBUF_SIMD=auto with a compiler supporting
+// -fopenmp-simd); Off forces the scalar fallback. Results are bit-identical
+// either way — every pragma'd loop is strictly elementwise and the kernel
+// TUs pin -ffp-contract=off — pinned by tests/test_soa_kernel's
+// scalar-vs-SIMD self-differential, so this is a measurement/ablation knob
+// (bench/figM_soa_ablation), not a semantics switch.
+enum class SimdMode {
+  Auto,
+  Off,
+};
+
+// Whether this build compiled the vector sweep bodies (NBUF_SIMD resolved
+// to enabled). When false, SimdMode::Auto and SimdMode::Off run the same
+// scalar code — benches report it so an ablation row of 1.0x is readable.
+[[nodiscard]] bool simd_compiled() noexcept;
+
 struct VgOptions {
   bool noise_constraints = true;   // true = BuffOpt, false = DelayOpt
   std::size_t max_buffers = 24;    // k cap for the count-indexed lists
@@ -87,6 +105,10 @@ struct VgOptions {
   bool collect_stats = false;
   // DP inner-loop implementation; results are identical either way.
   VgKernel kernel = VgKernel::Fast;
+  // Vector-vs-scalar dispatch of the fast kernel's SoA sweeps; results are
+  // identical either way (see the SimdMode comment). Ignored by the
+  // reference kernel.
+  SimdMode simd = SimdMode::Auto;
   // Both kernels re-verify the sort/Pareto/no-dead-candidate invariants of
   // every candidate list after each DP step (detail::verify_cand_list) and
   // throw on violation. O(k) per step. Runs when this is set OR when the

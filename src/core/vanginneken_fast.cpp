@@ -1,7 +1,8 @@
 // The fast Van Ginneken kernel (default; see VgKernel::Fast).
 //
-// Three structural observations make the seed kernel's per-prune std::sort,
-// per-candidate wire updates, and per-node deep copies unnecessary:
+// Four structural observations make the seed kernel's per-prune std::sort,
+// per-candidate wire updates, per-node deep copies, and strided candidate
+// traffic unnecessary:
 //
 //  1. Sort invariant. Every prune leaves its list sorted by (load asc,
 //     slack desc) and — with dominance pruning on — strictly ascending in
@@ -11,7 +12,7 @@
 //     ascending order by construction; and buffer insertion appends a small
 //     sorted tail that one stable merge pass folds back in. Pruning is
 //     therefore a single linear scan (dead-candidate removal, dominance
-//     filter, and compaction fused); std::sort runs only when the order is
+//     filter, and compaction fused); a sort runs only when the order is
 //     genuinely broken — the wire-sizing fork path, where one candidate
 //     forks into one variant per width (Li & Shi, PAPERS.md).
 //
@@ -29,17 +30,34 @@
 //     bucket's pre-insertion size and scanning that prefix is equivalent
 //     and copies nothing.
 //
-// Candidate-list buffers are recycled through a per-run core::VectorPool
-// next to the PlanArena, so steady-state DP makes no allocator calls.
+//  4. Structure-of-arrays lanes. Candidate lists live in SoA blocks
+//     (core/soa.hpp): one contiguous aligned lane per DP field plus a
+//     32-bit plan-ref lane. The hot loops — the fused dead+Pareto prune,
+//     the wire-offset flush, and the bucket-major merge — stream one lane
+//     at a time as the branch-light sweeps of core/soa_sweeps.hpp,
+//     vectorized under `#pragma omp simd` when the build compiled them
+//     (NBUF_SIMD=auto) and the run asked for them (VgOptions::simd).
+//     Every pragma'd loop is strictly elementwise, so vector and scalar
+//     execution are bit-identical. Order-dependent work — Pareto keep
+//     decisions, tail sorts, cascaded run merges — runs over 32-bit index
+//     permutations with ONE gather per lane at the end instead of
+//     repeatedly moving 48-byte structs.
+//
+// Candidate blocks are recycled whole through a per-run core::SoAPool next
+// to the PlanArena, so steady-state DP makes no allocator calls.
 //
 // Bit-identity with the reference kernel (same pruning decisions, same
 // tie-break order, same legacy VgStats counters) is pinned by
-// tests/test_vg_kernel.cpp; the speedup is measured by
-// bench/figI_kernel_speedup.
+// tests/test_vg_kernel.cpp and tests/test_soa_kernel.cpp; the speedup is
+// measured by bench/figI_kernel_speedup and bench/figM_soa_ablation.
 #include <algorithm>
-#include <iterator>
+#include <cstdint>
 #include <limits>
+#include <numeric>
+#include <vector>
 
+#include "core/soa.hpp"
+#include "core/soa_sweeps.hpp"
 #include "core/vg_kernel.hpp"
 #include "elmore/slew.hpp"
 #include "obs/trace.hpp"
@@ -49,6 +67,19 @@ namespace nbuf::core::detail {
 
 namespace {
 
+// Candidate lists of one node in SoA form: [phase][buffer count], the SoA
+// mirror of NodeLists.
+struct SoANodeLists {
+  std::array<std::vector<SoAList>, 2> by_phase;
+
+  [[nodiscard]] std::size_t total_size() const noexcept {
+    std::size_t n = 0;
+    for (const auto& phase_lists : by_phase)
+      for (const SoAList& list : phase_lists) n += list.size();
+    return n;
+  }
+};
+
 class FastVgRun {
  public:
   FastVgRun(const rct::RoutingTree& tree, const lib::BufferLibrary& lib,
@@ -57,6 +88,7 @@ class FastVgRun {
         lib_(lib),
         opt_(opt),
         sizing_(!opt.wire_widths.empty()),
+        simd_(opt.simd == SimdMode::Auto),
         type_order_(TypeOrder::make(lib)) {
     for (auto& sizes : view_sizes_) sizes.resize(opt_.max_buffers + 1, 0);
     min_cost_ = 1;
@@ -72,7 +104,7 @@ class FastVgRun {
   // Node state: materialized candidate lists plus the wires whose affine
   // update has been recorded but not yet applied (in root-ward order).
   struct Lists {
-    NodeLists node;
+    SoANodeLists node;
     std::vector<const rct::Wire*> pending;
   };
 
@@ -84,13 +116,29 @@ class FastVgRun {
   void insert_buffers_best_pred(Lists& lists, rct::NodeId v);
   Lists merge(Lists l, Lists r);
 
-  void apply_wire_and_prune(CandList& list, const rct::Wire& w);
-  void prune(CandList& list, bool known_sorted);
-  void merge_runs(CandList& list);
-  void merge_tail_and_prune(CandList& list, std::size_t prefix);
+  void apply_wire_and_prune(SoAList& list, const rct::Wire& w);
+  void prune(SoAList& list, bool known_sorted);
+  void sort_list(SoAList& list);
+  void merge_runs(SoAList& list);
+  void merge_tail_and_prune(SoAList& list, std::size_t prefix);
   void release_lists(Lists& lists);
 
+  [[nodiscard]] bool list_is_sorted(const SoAList& list) const {
+    const CandSpan s = list.span();
+    for (std::size_t i = 1; i < s.n; ++i)
+      if (soa_cand_less(s, i, i - 1, arena_)) return false;
+    return true;
+  }
   void note_created(std::size_t n) { stats_.candidates_generated += n; }
+  // Lane-utilization bookkeeping for one simd-eligible sweep of length n:
+  // how much of it fills whole vectors vs. the scalar epilogue. A pure
+  // function of the sweep lengths, so it reproduces at any thread count
+  // and in both simd modes.
+  void note_sweep(std::size_t n) {
+    const std::size_t tail = n % soa::kSimdLanes;
+    stats_.soa_full_lane_elems += n - tail;
+    stats_.soa_tail_elems += tail;
+  }
   [[nodiscard]] double* timed(double util::VgStats::*field) {
     return opt_.collect_stats ? &(stats_.*field) : nullptr;
   }
@@ -99,102 +147,130 @@ class FastVgRun {
   const lib::BufferLibrary& lib_;
   const VgOptions& opt_;
   const bool sizing_;
+  const bool simd_;
   PlanArena arena_;
-  VectorPool<VgCand> pool_;
-  CandList scratch_;                      // merge_runs / merge_tail scratch
+  SoAPool pool_;
+  SoAList scratch_;                       // gather target, swapped back
+  std::vector<unsigned char> keep_;       // prune keep flags
+  std::vector<std::uint32_t> perm_;       // index-permutation scratch
+  std::vector<std::uint32_t> ia_, jb_;    // merge pair indices
   std::vector<std::size_t> run_bounds_;   // sorted-run starts in merge()
   // Pre-insertion bucket sizes of the node currently in insert_buffers:
   // the read views that replace the seed kernel's NodeLists deep copy.
   std::array<std::vector<std::size_t>, 2> view_sizes_;
-  // Li–Shi best-predecessor machinery: the resistance-descending type walk
-  // order, the per-bucket hull structure, and each type's chosen
-  // predecessor for the bucket currently being processed.
+  // Best-predecessor machinery: the resistance-descending type walk order,
+  // the per-bucket feasibility groups, and each type's chosen predecessor
+  // for the bucket currently being processed.
   TypeOrder type_order_;
   BestPredecessors bp_;
-  std::vector<BestPredecessors::Choice> chosen_;
+  std::vector<BestPredecessors::Choice> selected_;  // by type walk position
+  std::vector<BestPredecessors::Choice> chosen_;    // by library id
   std::size_t min_cost_ = 1;
   util::VgStats stats_;
 };
 
 // Pareto pruning on (load, slack) only — paper Step 7 — with dead-candidate
-// removal (NS < 0) fused into the same compaction scan. `known_sorted`
-// callers maintained the sort invariant, so no sort runs.
-void FastVgRun::prune(CandList& list, bool known_sorted) {
+// removal (NS < 0) fused into the same lane sweeps (soa::prune_sweep).
+// `known_sorted` callers maintained the sort invariant, so no sort runs.
+void FastVgRun::prune(SoAList& list, bool known_sorted) {
   NBUF_TRACE_DETAIL_TAGGED("vg.prune", list.size());
   ++stats_.prune_calls;
   if (known_sorted) {
     ++stats_.prune_sorts_skipped;
   } else {
-    std::sort(list.begin(), list.end(), cand_less);  // nbuf-lint: allow(sort)
+    sort_list(list);
     ++stats_.prune_sorts;
   }
-  const bool noise = opt_.noise_constraints;
-  const bool pareto = opt_.prune_candidates;
-  std::size_t out = 0;
-  double best_slack = -std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < list.size(); ++i) {
-    const VgCand& c = list[i];
-    if (noise && c.noise_slack < 0.0) {
-      ++stats_.pruned_infeasible;
-      continue;  // dead: no future gate can drive this candidate
-    }
-    if (pareto) {
-      if (c.slack <= best_slack) {
-        ++stats_.pruned_inferior;  // inferior: >= load, <= slack
-        continue;
-      }
-      best_slack = c.slack;
-    }
-    if (out != i) list[out] = c;
-    ++out;
-  }
-  list.resize(out);
+  if (opt_.noise_constraints) note_sweep(list.size());
+  const soa::PruneResult pr = soa::prune_sweep(
+      list, opt_.noise_constraints, opt_.prune_candidates, simd_, keep_);
+  stats_.pruned_infeasible += pr.dead;
+  stats_.pruned_inferior += pr.inferior;
+  if (!pr.moved) ++stats_.soa_prunes_no_move;
   stats_.peak_list_size = std::max(stats_.peak_list_size, list.size());
-  if (verify_lists_enabled(opt_)) verify_cand_list(list, opt_);
+  if (verify_lists_enabled(opt_)) verify_cand_list(list.span(), opt_, arena_);
+}
+
+// Full re-sort (the wire-sizing fork and the rounding-collision fallback):
+// sort an index permutation by the total cand_less order, then gather the
+// lanes once. A total order has a unique sorted sequence, so the unstable
+// index sort reproduces the value sort bit-for-bit.
+void FastVgRun::sort_list(SoAList& list) {
+  const std::size_t n = list.size();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  const CandSpan s = list.span();
+  std::sort(perm_.begin(), perm_.end(),  // nbuf-lint: allow(sort)
+            [&](std::uint32_t x, std::uint32_t y) {
+              return soa_cand_less(s, x, y, arena_);
+            });
+  note_sweep(n);
+  soa::gather(list, perm_.data(), n, scratch_, simd_);
+  list.swap(scratch_);
+}
+
+// Copies all six lane slots of src[i] to dst[o]; the lane-wise form of one
+// 48-byte AoS struct move (dst and src may be the same list when o and i
+// don't overlap a pending read).
+inline void copy_elem(SoAList& dst, std::size_t o, const SoAList& src,
+                      std::size_t i) {
+  dst.load()[o] = src.load()[i];
+  dst.slack()[o] = src.slack()[i];
+  dst.current()[o] = src.current()[i];
+  dst.noise_slack()[o] = src.noise_slack()[i];
+  dst.dhat()[o] = src.dhat()[i];
+  dst.plan()[o] = src.plan()[i];
 }
 
 // Collapses a concatenation of sorted runs (starts in run_bounds_) into one
-// sorted list by cascaded pairwise merges — O(n log runs), no sort. Ties
-// resolve to the earlier run, i.e. the smaller left-bucket index.
-void FastVgRun::merge_runs(CandList& list) {
+// sorted order by cascaded pairwise lane merges, ping-ponging between the
+// list and the scratch block — O(n log runs) comparisons, no allocation.
+// Ties resolve to the earlier run, exactly std::merge's rule.
+void FastVgRun::merge_runs(SoAList& list) {
+  if (run_bounds_.size() <= 1) return;
+  const std::size_t n = list.size();
   while (run_bounds_.size() > 1) {
     scratch_.clear();
-    scratch_.reserve(list.size());
-    std::size_t w = 0;  // rewrite run starts in place for the next sweep
+    scratch_.reserve(n);
+    scratch_.set_size(n);
+    const CandSpan s = list.span();
+    std::size_t w = 0;
+    std::size_t out = 0;  // rewrite run starts in place for the next level
     for (std::size_t r = 0; r < run_bounds_.size(); r += 2) {
-      const auto lo = static_cast<std::ptrdiff_t>(run_bounds_[r]);
-      const auto mid = static_cast<std::ptrdiff_t>(
-          r + 1 < run_bounds_.size() ? run_bounds_[r + 1] : list.size());
-      const auto hi = static_cast<std::ptrdiff_t>(
-          r + 2 < run_bounds_.size() ? run_bounds_[r + 2] : list.size());
-      run_bounds_[w++] = scratch_.size();
-      std::merge(list.begin() + lo, list.begin() + mid, list.begin() + mid,
-                 list.begin() + hi, std::back_inserter(scratch_), cand_less);
+      const std::size_t mid =
+          r + 1 < run_bounds_.size() ? run_bounds_[r + 1] : n;
+      const std::size_t hi =
+          r + 2 < run_bounds_.size() ? run_bounds_[r + 2] : n;
+      run_bounds_[out++] = w;
+      std::size_t i = run_bounds_[r], j = mid;
+      while (i < mid && j < hi) {
+        if (soa_cand_less(s, j, s, i, arena_)) {
+          copy_elem(scratch_, w++, list, j++);
+        } else {
+          copy_elem(scratch_, w++, list, i++);
+        }
+      }
+      while (i < mid) copy_elem(scratch_, w++, list, i++);
+      while (j < hi) copy_elem(scratch_, w++, list, j++);
     }
-    run_bounds_.resize(w);
+    run_bounds_.resize(out);
     list.swap(scratch_);
   }
 }
 
 // Materializes one lazy wire offset: the exact per-candidate expressions of
-// the reference kernel, with the sort-invariant check riding along (the map
-// preserves load order; a violation is only possible through floating-point
-// rounding collisions, and then the prune falls back to sorting).
-void FastVgRun::apply_wire_and_prune(CandList& list, const rct::Wire& w) {
+// the reference kernel as one elementwise lane sweep (soa::apply_wire). The
+// affine map preserves load order, so sortedness is re-checked afterwards
+// over the updated lanes — the same neighbor pairs the AoS kernel compared
+// during its scan — and a violation (only possible through floating-point
+// rounding collisions) falls back to the sorting prune.
+void FastVgRun::apply_wire_and_prune(SoAList& list, const rct::Wire& w) {
   ++stats_.offset_flushes;
-  bool sorted = true;
-  const VgCand* prev = nullptr;
-  for (VgCand& c : list) {
-    const double wire_delay = w.resistance * (w.capacitance / 2.0 + c.load);
-    c.slack -= wire_delay;
-    c.dhat += wire_delay;
-    c.load += w.capacitance;
-    c.noise_slack -= w.resistance * (w.coupling_current / 2.0 + c.current);
-    c.current += w.coupling_current;
-    if (prev != nullptr && cand_less(c, *prev)) sorted = false;
-    prev = &c;
-  }
-  prune(list, sorted);
+  stats_.soa_flush_elems += list.size();
+  note_sweep(list.size());
+  soa::apply_wire(list, w.resistance, w.capacitance, w.coupling_current,
+                  simd_);
+  prune(list, list_is_sorted(list));
 }
 
 // Applies every pending wire, oldest first, pruning after each exactly as
@@ -207,7 +283,7 @@ void FastVgRun::flush(Lists& lists) {
   const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
   for (const rct::Wire* w : lists.pending) {
     for (auto& phase_lists : lists.node.by_phase) {
-      for (CandList& list : phase_lists) {
+      for (SoAList& list : phase_lists) {
         if (list.empty()) continue;
         apply_wire_and_prune(list, *w);
       }
@@ -232,28 +308,38 @@ void FastVgRun::extend_wire(Lists& lists, rct::NodeId child) {
   NBUF_TRACE_DETAIL_TAGGED("vg.wire", lists.node.total_size());
   const PhaseTimer timer(timed(&util::VgStats::wire_seconds));
   for (auto& phase_lists : lists.node.by_phase) {
-    for (CandList& list : phase_lists) {
+    for (SoAList& list : phase_lists) {
       if (list.empty()) continue;
-      CandList expanded = pool_.acquire();
-      expanded.reserve(list.size() * opt_.wire_widths.size());
-      for (const VgCand& c : list) {
-        for (std::size_t wi = 0; wi < opt_.wire_widths.size(); ++wi) {
+      SoAList expanded = pool_.acquire();
+      const std::size_t widths = opt_.wire_widths.size();
+      expanded.reserve(list.size() * widths);
+      expanded.set_size(list.size() * widths);
+      const CandSpan c = list.span();
+      double* eload = expanded.load();
+      double* eslack = expanded.slack();
+      double* ecurrent = expanded.current();
+      double* enoise = expanded.noise_slack();
+      double* edhat = expanded.dhat();
+      PlanRef* eplan = expanded.plan();
+      std::size_t o = 0;
+      for (std::size_t ci = 0; ci < c.n; ++ci) {
+        for (std::size_t wi = 0; wi < widths; ++wi, ++o) {
           const lib::WireWidth& ww = opt_.wire_widths.at(wi);
           const double res = w.resistance * ww.res_scale;
           const double cap = w.capacitance * ww.cap_scale;
           const double cur = w.coupling_current * ww.coupling_scale;
-          VgCand v = c;
-          const double wire_delay = res * (cap / 2.0 + v.load);
-          v.slack -= wire_delay;
-          v.dhat += wire_delay;
-          v.load += cap;
-          v.noise_slack -= res * (cur / 2.0 + v.current);
-          v.current += cur;
-          if (wi != 0) v.plan = arena_.wire(v.plan, PlannedWire{child, wi});
-          expanded.push_back(v);
-          note_created(1);
+          const double wire_delay = res * (cap / 2.0 + c.load[ci]);
+          eload[o] = c.load[ci] + cap;
+          eslack[o] = c.slack[ci] - wire_delay;
+          ecurrent[o] = c.current[ci] + cur;
+          enoise[o] = c.noise_slack[ci] - res * (cur / 2.0 + c.current[ci]);
+          edhat[o] = c.dhat[ci] + wire_delay;
+          eplan[o] = wi == 0 ? c.plan[ci]
+                             : arena_.wire_ref(c.plan[ci],
+                                               PlannedWire{child, wi});
         }
       }
+      note_created(o);
       pool_.release(std::move(list));
       list = std::move(expanded);
       prune(list, /*known_sorted=*/false);
@@ -261,17 +347,44 @@ void FastVgRun::extend_wire(Lists& lists, rct::NodeId child) {
   }
 }
 
-// Folds the freshly appended buffer candidates (a small sorted tail) back
-// into the sorted prefix with one stable merge — the appended tail is the
-// only part that is out of order, so no full sort is needed.
-void FastVgRun::merge_tail_and_prune(CandList& list, std::size_t prefix) {
-  const auto tail = list.begin() + static_cast<std::ptrdiff_t>(prefix);
-  std::sort(tail, list.end(), cand_less);  // nbuf-lint: allow(sort)
+// Folds the freshly appended buffer candidates (a small sorted-after-sort
+// tail — at most one per library type) back into the sorted prefix without
+// rewriting the list: the tail is buffered into the scratch block and
+// merged backward in place. No full sort, no allocation, and prefix
+// elements below the lowest tail element never move.
+void FastVgRun::merge_tail_and_prune(SoAList& list, std::size_t prefix) {
+  const std::size_t n = list.size();
+  const std::size_t t = n - prefix;
+  const CandSpan s = list.span();
+  perm_.resize(t);
+  std::iota(perm_.begin(), perm_.end(), static_cast<std::uint32_t>(prefix));
+  std::sort(perm_.begin(), perm_.end(),  // nbuf-lint: allow(sort)
+            [&](std::uint32_t x, std::uint32_t y) {
+              return soa_cand_less(s, x, y, arena_);
+            });
   scratch_.clear();
-  scratch_.reserve(list.size());
-  std::merge(list.begin(), tail, tail, list.end(),
-             std::back_inserter(scratch_), cand_less);
-  list.swap(scratch_);
+  scratch_.reserve(t);
+  scratch_.set_size(t);
+  for (std::size_t o = 0; o < t; ++o) copy_elem(scratch_, o, list, perm_[o]);
+  // Backward in-place merge of the sorted prefix with the buffered tail:
+  // always emit the largest remaining element at the back. Writes stay
+  // strictly above the unread prefix (w = i + j > i), and once the tail is
+  // exhausted the remaining prefix is already in place. An exact total-
+  // order tie means identical candidate content, so either emission order
+  // reproduces the std::merge sequence.
+  const CandSpan tail = scratch_.span();
+  std::size_t i = prefix, j = t, w = n;
+  while (j > 0) {
+    if (i > 0 && soa_cand_less(tail, j - 1, s, i - 1, arena_)) {
+      --w;
+      --i;
+      copy_elem(list, w, list, i);
+    } else {
+      --w;
+      --j;
+      copy_elem(list, w, scratch_, j);
+    }
+  }
   prune(list, /*known_sorted=*/true);
 }
 
@@ -298,13 +411,13 @@ void FastVgRun::insert_buffers(Lists& lists, rct::NodeId v) {
     insert_buffers_best_pred(lists, v);
   } else {
     // Ablation mode: without dominance pruning the lists are not Pareto
-    // staircases, so the hull structure does not apply.
+    // staircases, so the grouped best-predecessor structure does not apply.
     insert_buffers_naive(lists, v);
   }
   const std::size_t bucket_count = opt_.max_buffers + 1;
   for (int phase = 0; phase < 2; ++phase) {
     for (std::size_t k = 0; k < bucket_count; ++k) {
-      CandList& list = lists.node.by_phase[phase][k];
+      SoAList& list = lists.node.by_phase[phase][k];
       const std::size_t prefix = view_sizes_[phase][k];
       if (list.size() == prefix) continue;  // untouched: still Pareto-sorted
       merge_tail_and_prune(list, prefix);
@@ -316,6 +429,7 @@ void FastVgRun::insert_buffers(Lists& lists, rct::NodeId v) {
 // per bucket. Kept for the prune_candidates=false ablation only.
 void FastVgRun::insert_buffers_naive(Lists& lists, rct::NodeId v) {
   const std::size_t bucket_count = opt_.max_buffers + 1;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
   for (lib::BufferId bid : lib_.ids()) {
     const lib::BufferType& b = lib_.at(bid);
     // Cost of inserting this type (Lillis power-function generalization;
@@ -327,44 +441,38 @@ void FastVgRun::insert_buffers_naive(Lists& lists, rct::NodeId v) {
       const auto& buckets = lists.node.by_phase[in_phase];
       for (std::size_t k = 0; k + cost < bucket_count; ++k) {
         // Best resulting slack over the count-k view (Fig. 11 Step 5).
-        const CandList& view = buckets[k];
-        const std::size_t view_n = view_sizes_[in_phase][k];
-        const VgCand* best = nullptr;
+        const CandSpan c = buckets[k].span(view_sizes_[in_phase][k]);
+        std::size_t best = kNone;
         double best_q = -std::numeric_limits<double>::infinity();
-        for (std::size_t i = 0; i < view_n; ++i) {
-          const VgCand& c = view[i];
+        for (std::size_t i = 0; i < c.n; ++i) {
           if (opt_.noise_constraints &&
-              b.resistance * c.current > c.noise_slack)
+              b.resistance * c.current[i] > c.noise_slack[i])
             continue;  // would violate noise: never create this candidate
-          if (elmore::kSlewFactor * (b.resistance * c.load + c.dhat) >
+          if (elmore::kSlewFactor * (b.resistance * c.load[i] + c.dhat[i]) >
               opt_.max_slew)
             continue;  // the buffer's stage would see too slow an edge
           const double q =
-              c.slack - b.intrinsic_delay - b.resistance * c.load;
+              c.slack[i] - b.intrinsic_delay - b.resistance * c.load[i];
           if (q > best_q) {
             best_q = q;
-            best = &c;
+            best = i;
           }
         }
-        if (best == nullptr) continue;
-        VgCand nc;
-        nc.load = b.input_cap;
-        nc.slack = best_q;
-        nc.current = 0.0;
-        nc.noise_slack = b.noise_margin;
-        nc.dhat = 0.0;  // restoring gate: a fresh stage begins
-        nc.plan = arena_.buffer(best->plan, PlannedBuffer{v, 0.0, bid});
-        lists.node.by_phase[out_phase][k + cost].push_back(nc);
+        if (best == kNone) continue;
+        lists.node.by_phase[out_phase][k + cost].push_back(
+            b.input_cap, best_q, 0.0, b.noise_margin, 0.0,
+            arena_.buffer_ref(c.plan[best], PlannedBuffer{v, 0.0, bid}));
         note_created(1);
       }
     }
   }
 }
 
-// Li–Shi insertion (the default): bucket-major so each bucket's hull
-// structure is built once and every type's best predecessor comes from a
-// monotone walk over it — O(m + b) per bucket instead of the naive O(b·m).
-// New candidates are buffered per type and appended in library-id order:
+// Grouped insertion (the default): bucket-major so each bucket's
+// feasibility groups are built once (one binary search per candidate) and
+// every type's best predecessor comes out of one predicate-free
+// candidate-major pass (select_all). New candidates are buffered per type
+// and appended in library-id order:
 // the reference kernel emits types in that order and the tail sort is not
 // stable, so the append order is part of the bit-identity contract.
 void FastVgRun::insert_buffers_best_pred(Lists& lists, rct::NodeId v) {
@@ -375,20 +483,26 @@ void FastVgRun::insert_buffers_best_pred(Lists& lists, rct::NodeId v) {
     for (std::size_t k = 0; k + min_cost_ < bucket_count; ++k) {
       const std::size_t view_n = view_sizes_[in_phase][k];
       if (view_n == 0) continue;
-      bp_.prepare(buckets[k].data(), view_n, opt_, lib_, type_order_);
+      // The view's lanes stay valid through the emit loop: every append
+      // lands in bucket k + cost (cost >= 1), never in bucket k itself.
+      const CandSpan view = buckets[k].span(view_n);
+      bp_.prepare(view, opt_, lib_, type_order_);
       ++stats_.bp_prune_calls;
       stats_.bp_candidates_killed += bp_.killed();
+      bp_.select_all(lib_, type_order_, selected_);
       chosen_.assign(type_count, {});
       for (std::size_t pos = 0; pos < type_count; ++pos) {
         const lib::BufferId bid = type_order_.ids[pos];
         const std::size_t cost =
             opt_.buffer_costs.empty() ? 1 : opt_.buffer_costs[bid.value()];
+        // A choice whose target bucket overflows the count cap is simply
+        // discarded — the reference loop never evaluates those types.
         if (k + cost >= bucket_count) continue;
-        chosen_[bid.value()] = bp_.select(lib_.at(bid), pos);
+        chosen_[bid.value()] = selected_[pos];
       }
       for (std::size_t t = 0; t < type_count; ++t) {
         const BestPredecessors::Choice& ch = chosen_[t];
-        if (ch.cand == nullptr) continue;
+        if (ch.idx == BestPredecessors::Choice::kNone) continue;
         const lib::BufferId bid{
             static_cast<lib::BufferId::underlying_type>(t)};
         const lib::BufferType& b = lib_.at(bid);
@@ -403,21 +517,16 @@ void FastVgRun::insert_buffers_best_pred(Lists& lists, rct::NodeId v) {
         // node, the append, and the merge churn. The reference kernel
         // applies the same predicate against the same view, keeping the
         // kernels bit-identical.
-        CandList& target = lists.node.by_phase[out_phase][k + cost];
-        if (dominated_by_staircase(target.data(),
+        SoAList& target = lists.node.by_phase[out_phase][k + cost];
+        if (dominated_by_staircase(target.load(), target.slack(),
                                    view_sizes_[out_phase][k + cost],
                                    b.input_cap, ch.q)) {
           ++stats_.pruned_inferior;
           continue;
         }
-        VgCand nc;
-        nc.load = b.input_cap;
-        nc.slack = ch.q;
-        nc.current = 0.0;
-        nc.noise_slack = b.noise_margin;
-        nc.dhat = 0.0;  // restoring gate: a fresh stage begins
-        nc.plan = arena_.buffer(ch.cand->plan, PlannedBuffer{v, 0.0, bid});
-        target.push_back(nc);
+        target.push_back(
+            b.input_cap, ch.q, 0.0, b.noise_margin, 0.0,
+            arena_.buffer_ref(view.plan[ch.idx], PlannedBuffer{v, 0.0, bid}));
       }
     }
   }
@@ -425,7 +534,7 @@ void FastVgRun::insert_buffers_best_pred(Lists& lists, rct::NodeId v) {
 
 void FastVgRun::release_lists(Lists& lists) {
   for (auto& phase_lists : lists.node.by_phase)
-    for (CandList& list : phase_lists) pool_.release(std::move(list));
+    for (SoAList& list : phase_lists) pool_.release(std::move(list));
 }
 
 FastVgRun::Lists FastVgRun::merge(Lists l, Lists r) {
@@ -445,38 +554,29 @@ FastVgRun::Lists FastVgRun::merge(Lists l, Lists r) {
   // into one sorted list without a sort.
   for (int phase = 0; phase < 2; ++phase) {
     for (std::size_t ks = 0; ks <= kmax; ++ks) {
-      CandList& dst = out.node.by_phase[phase][ks];
+      SoAList& dst = out.node.by_phase[phase][ks];
       run_bounds_.clear();
       for (std::size_t kl = 0; kl <= ks; ++kl) {
-        const CandList& a = l.node.by_phase[phase][kl];
+        const SoAList& a = l.node.by_phase[phase][kl];
         if (a.empty()) continue;
-        const CandList& b = r.node.by_phase[phase][ks - kl];
+        const SoAList& b = r.node.by_phase[phase][ks - kl];
         if (b.empty()) continue;
         if (dst.capacity() == 0) dst = pool_.acquire();
         run_bounds_.push_back(dst.size());
-        // Van Ginneken linear merge: lists are sorted by load and slack
-        // ascending; the side whose slack binds advances.
-        std::size_t i = 0, j = 0;
-        while (i < a.size() && j < b.size()) {
-          VgCand m;
-          m.load = a[i].load + b[j].load;
-          m.slack = std::min(a[i].slack, b[j].slack);
-          m.current = a[i].current + b[j].current;
-          m.noise_slack = std::min(a[i].noise_slack, b[j].noise_slack);
-          m.dhat = std::max(a[i].dhat, b[j].dhat);
-          m.plan = arena_.merge(a[i].plan, b[j].plan);
-          dst.push_back(m);
-          note_created(1);
-          ++stats_.merged;
-          if (a[i].slack < b[j].slack) {
-            ++i;
-          } else if (b[j].slack < a[i].slack) {
-            ++j;
-          } else {
-            ++i;
-            ++j;
-          }
-        }
+        // Van Ginneken linear merge, split lane-wise: the sequential
+        // advance walk records index pairs, then one gather sweep fills
+        // the value lanes and a scalar loop allocates the plan merges.
+        const CandSpan sa = a.span();
+        const CandSpan sb = b.span();
+        const std::size_t m = soa::emit_pairs(sa, sb, ia_, jb_);
+        const std::size_t base = dst.size();
+        note_sweep(m);
+        soa::merge_fill(sa, sb, ia_.data(), jb_.data(), m, dst, simd_);
+        PlanRef* dp = dst.plan() + base;
+        for (std::size_t o = 0; o < m; ++o)
+          dp[o] = arena_.merge_ref(sa.plan[ia_[o]], sb.plan[jb_[o]]);
+        note_created(m);
+        stats_.merged += m;
       }
       if (dst.empty()) continue;
       merge_runs(dst);
@@ -484,7 +584,7 @@ FastVgRun::Lists FastVgRun::merge(Lists l, Lists r) {
       // collisions (an equal-load pair inside a run arrives slack-ascending,
       // the reverse of the prune order); verify instead of assuming so the
       // rare collision falls back to the sorting path bit-identically.
-      prune(dst, std::is_sorted(dst.begin(), dst.end(), cand_less));
+      prune(dst, list_is_sorted(dst));
     }
   }
   release_lists(l);
@@ -499,15 +599,11 @@ FastVgRun::Lists FastVgRun::process(rct::NodeId v) {
     Lists lists;
     for (auto& pl : lists.node.by_phase) pl.resize(opt_.max_buffers + 1);
     const rct::SinkInfo& si = tree_.sink(n.sink);
-    VgCand c;
-    c.load = si.cap;
-    c.slack = si.required_arrival;
-    c.current = 0.0;
-    c.noise_slack = si.noise_margin;
-    CandList& seedlist =
+    SoAList& seedlist =
         lists.node.by_phase[si.require_inverted ? 1 : 0][0];
     seedlist = pool_.acquire();
-    seedlist.push_back(c);
+    seedlist.push_back(si.cap, si.required_arrival, 0.0, si.noise_margin,
+                       0.0, kNullPlan);
     note_created(1);
     return lists;
   }
@@ -536,7 +632,24 @@ VgResult FastVgRun::run() {
   NBUF_ASSERT_MSG(at_source.pending.empty(),
                   "lazy wire offsets must be flushed before the driver fold");
   stats_.pool_reuses = pool_.reuses();
-  return finalize(at_source.node, tree_, opt_, stats_);
+  stats_.soa_block_reuses = pool_.reuses();
+  // Materialize the source lists as AoS NodeLists for the shared driver
+  // fold (finalize is common to both kernels) — a one-time conversion
+  // linear in the surviving source candidates.
+  NodeLists node;
+  for (int phase = 0; phase < 2; ++phase) {
+    node.by_phase[phase].resize(opt_.max_buffers + 1);
+    for (std::size_t k = 0; k <= opt_.max_buffers; ++k) {
+      const CandSpan s = at_source.node.by_phase[phase][k].span();
+      CandList& out = node.by_phase[phase][k];
+      out.reserve(s.n);
+      for (std::size_t i = 0; i < s.n; ++i)
+        out.push_back(VgCand{s.load[i], s.slack[i], s.current[i],
+                             s.noise_slack[i], s.dhat[i],
+                             arena_.cell(s.plan[i])});
+    }
+  }
+  return finalize(node, tree_, opt_, stats_);
 }
 
 }  // namespace
@@ -545,7 +658,7 @@ TypeOrder TypeOrder::make(const lib::BufferLibrary& lib) {
   TypeOrder order;
   order.ids = lib.ids();
   // Resistance descending; stable so equal-R types keep library-id order
-  // (their feasibility predicates and hull walks are then interchangeable).
+  // (their feasibility predicates are then interchangeable).
   std::stable_sort(order.ids.begin(), order.ids.end(),
                    [&lib](lib::BufferId a, lib::BufferId b) {
                      return lib.at(a).resistance > lib.at(b).resistance;
@@ -553,45 +666,51 @@ TypeOrder TypeOrder::make(const lib::BufferLibrary& lib) {
   return order;
 }
 
-void BestPredecessors::prepare(const VgCand* cands, std::size_t n,
-                               const VgOptions& opt,
+void BestPredecessors::prepare(const CandSpan& view, const VgOptions& opt,
                                const lib::BufferLibrary& lib,
                                const TypeOrder& order) {
-  cands_ = cands;
-  hull_.clear();
+  view_ = view;
   groups_.clear();
-  active_ = 0;
   killed_ = 0;
+  const std::size_t n = view.n;
   const std::size_t m = order.ids.size();
   const bool noise = opt.noise_constraints;
   const bool slew = opt.max_slew < std::numeric_limits<double>::infinity();
-  // Feasibility of inserting the type at walk position `pos` on top of `c`,
-  // with the kernels' exact threshold comparisons (never rearranged: the
-  // binary search must agree bit-for-bit with the naive scan's skips).
-  const auto feasible = [&](const VgCand& c, std::size_t pos) {
+  if (!noise && !slew) {
+    // Unconstrained bucket: every type is feasible for every candidate
+    // (tmin == 0 across the board), so the whole view is one group in
+    // index order and the permutation — the identity — is never
+    // materialized. select_all detects this shape and reads the lanes
+    // directly.
+    if (n > 0) groups_.push_back(Group{0, 0, n});
+    return;
+  }
+  // Feasibility of inserting the type at walk position `pos` on top of
+  // candidate i, with the kernels' exact threshold comparisons (never
+  // rearranged: the binary search must agree bit-for-bit with the naive
+  // scan's skips).
+  const auto feasible = [&](std::size_t i, std::size_t pos) {
     const double r = lib.at(order.ids[pos]).resistance;
-    if (noise && r * c.current > c.noise_slack) return false;
-    return !(elmore::kSlewFactor * (r * c.load + c.dhat) > opt.max_slew);
+    if (noise && r * view.current[i] > view.noise_slack[i]) return false;
+    return !(elmore::kSlewFactor * (r * view.load[i] + view.dhat[i]) >
+             opt.max_slew);
   };
   tmin_.assign(n, 0);
-  if (noise || slew) {
-    for (std::size_t i = 0; i < n; ++i) {
-      const VgCand& c = cands[i];
-      if (feasible(c, 0)) continue;  // the common case: tmin stays 0
-      // Both thresholds are products monotone in R under IEEE rounding, so
-      // along the R-descending walk order the feasible types form a suffix:
-      // binary-search its first position (m = feasible for no type).
-      std::size_t lo = 1, hi = m;
-      while (lo < hi) {
-        const std::size_t mid = lo + (hi - lo) / 2;
-        if (feasible(c, mid)) {
-          hi = mid;
-        } else {
-          lo = mid + 1;
-        }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (feasible(i, 0)) continue;  // the common case: tmin stays 0
+    // Both thresholds are products monotone in R under IEEE rounding, so
+    // along the R-descending walk order the feasible types form a suffix:
+    // binary-search its first position (m = feasible for no type).
+    std::size_t lo = 1, hi = m;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (feasible(i, mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
       }
-      tmin_[i] = lo;
     }
+    tmin_[i] = lo;
   }
   // Counting-bucket the candidates by first feasible type. Each group is a
   // subsequence of the bucket's Pareto staircase — itself a staircase — so
@@ -607,77 +726,70 @@ void BestPredecessors::prepare(const VgCand* cands, std::size_t n,
   sorted_.resize(n);
   for (std::size_t i = 0; i < n; ++i) sorted_[counts_[tmin_[i]]++] = i;
   // counts_[t] now holds the END of group t's slice; group t's candidates
-  // sit in sorted_[counts_[t-1], counts_[t]). Upper-hull each nonempty
-  // group (t == m means feasible for no type: those candidates are dead).
+  // sit in sorted_[counts_[t-1], counts_[t]), index ascending (the counting
+  // sort is stable). Record every nonempty group's slice; t == m means
+  // feasible for no type — those candidates are dead and never scanned.
   std::size_t begin = 0;
   for (std::size_t t = 0; t < m; ++t) {
     const std::size_t end = counts_[t];
     if (end == begin) continue;
-    Group grp;
-    grp.first_type = t;
-    grp.begin = hull_.size();
-    stack_.clear();
-    for (std::size_t s = begin; s < end; ++s) {
-      const std::size_t idx = sorted_[s];
-      const VgCand& p = cands[idx];
-      // Keep the upper concave chain of the (load, slack) points. Pop only
-      // when the middle point is STRICTLY below the new chord: a collinear
-      // point can still win an exact-q tie by its smaller index, so it must
-      // survive; a strictly-below point loses to a chord endpoint at every
-      // R and can never be any type's best predecessor.
-      while (stack_.size() >= 2) {
-        const VgCand& a = cands[stack_[stack_.size() - 2]];
-        const VgCand& b = cands[stack_[stack_.size() - 1]];
-        const double cross = (b.load - a.load) * (p.slack - a.slack) -
-                             (b.slack - a.slack) * (p.load - a.load);
-        if (cross > 0.0) {
-          stack_.pop_back();
-        } else {
-          break;
-        }
-      }
-      stack_.push_back(idx);
-    }
-    hull_.insert(hull_.end(), stack_.begin(), stack_.end());
-    grp.end = hull_.size();
-    grp.ptr = grp.begin;
-    groups_.push_back(grp);
+    groups_.push_back(Group{t, begin, end});
     begin = end;
   }
-  killed_ = n - hull_.size();
+  killed_ = n - begin;
 }
 
-BestPredecessors::Choice BestPredecessors::select(const lib::BufferType& type,
-                                                  std::size_t pos) {
-  // Activate the groups whose first feasible type the walk has reached
-  // (groups_ ascends by first_type; pos strictly increases between calls).
-  while (active_ < groups_.size() && groups_[active_].first_type <= pos)
-    ++active_;
-  const double r = type.resistance;
-  const double d = type.intrinsic_delay;
-  Choice best;
-  std::size_t best_idx = 0;
-  for (std::size_t gi = 0; gi < active_; ++gi) {
-    Group& g = groups_[gi];
-    const auto q_at = [&](std::size_t h) {
-      const VgCand& c = cands_[hull_[h]];
-      return c.slack - d - r * c.load;  // the reference's exact expression
-    };
-    // Monotone walk: as R shrinks the maximizer moves toward larger loads,
-    // so the pointer never backs up. Advance only on strictly greater q:
-    // the walk then stops on the FIRST point of an equal-q plateau, which
-    // is the reference scan's first-wins tie-break.
-    while (g.ptr + 1 < g.end && q_at(g.ptr + 1) > q_at(g.ptr)) ++g.ptr;
-    const double q = q_at(g.ptr);
-    const std::size_t idx = hull_[g.ptr];
-    if (best.cand == nullptr || q > best.q ||
-        (q == best.q && idx < best_idx)) {
-      best.cand = &cands_[idx];
-      best.q = q;
-      best_idx = idx;
-    }
+void BestPredecessors::select_all(const lib::BufferLibrary& lib,
+                                  const TypeOrder& order,
+                                  std::vector<Choice>& out) {
+  const std::size_t m = order.ids.size();
+  res_.resize(m);
+  delay_.resize(m);
+  for (std::size_t t = 0; t < m; ++t) {
+    const lib::BufferType& b = lib.at(order.ids[t]);
+    res_[t] = b.resistance;
+    delay_[t] = b.intrinsic_delay;
   }
-  return best;
+  // Accumulators mirror the reference scan's start state: q must beat
+  // -inf STRICTLY before an index is recorded, so a candidate whose q is
+  // -inf (or NaN) never wins — exactly as in the naive loop.
+  best_q_.assign(m, -std::numeric_limits<double>::infinity());
+  best_i_.assign(m, Choice::kNone);
+  // Candidate-major: one pass over the grouped permutation, each
+  // candidate's lanes loaded once and folded into the accumulator of
+  // every type in its feasible suffix. The update keeps the minimum index
+  // among bit-equal q maxima — the reference's first-wins choice restated
+  // order-independently — because indices interleave across groups here.
+  const auto fold = [this, m](std::size_t idx, std::size_t t0) {
+    const double sl = view_.slack[idx];
+    const double ld = view_.load[idx];
+    for (std::size_t t = t0; t < m; ++t) {
+      const double q = sl - delay_[t] - res_[t] * ld;
+      if (q > best_q_[t] || (q == best_q_[t] &&
+                             best_i_[t] != Choice::kNone &&
+                             idx < best_i_[t])) {
+        best_q_[t] = q;
+        best_i_[t] = idx;
+      }
+    }
+  };
+  // One all-feasible group in index order means the permutation is the
+  // identity (prepare's unconstrained fast path never even builds it):
+  // walk the lanes directly, in hardware-prefetch order.
+  if (killed_ == 0 && groups_.size() == 1 && groups_[0].first_type == 0) {
+    for (std::size_t idx = groups_[0].begin; idx < groups_[0].end; ++idx)
+      fold(idx, 0);
+  } else {
+    for (const Group& g : groups_)
+      for (std::size_t s = g.begin; s < g.end; ++s)
+        fold(sorted_[s], g.first_type);
+  }
+  out.assign(m, Choice{});
+  for (std::size_t t = 0; t < m; ++t) {
+    if (best_i_[t] == Choice::kNone) continue;
+    out[t].idx = best_i_[t];
+    out[t].q = best_q_[t];
+  }
 }
 
 VgResult run_fast_kernel(const rct::RoutingTree& tree,
@@ -688,3 +800,11 @@ VgResult run_fast_kernel(const rct::RoutingTree& tree,
 }
 
 }  // namespace nbuf::core::detail
+
+namespace nbuf::core {
+
+// Defined in this TU because it is the one compiled with
+// -DNBUF_SIMD_ENABLED when NBUF_SIMD resolves to enabled.
+bool simd_compiled() noexcept { return detail::soa::kSimdCompiled; }
+
+}  // namespace nbuf::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/plan.hpp"
+#include "core/soa.hpp"
 #include "core/vanginneken.hpp"
 #include "lib/buffer.hpp"
 #include "rct/tree.hpp"
@@ -122,6 +123,27 @@ inline bool cand_less(const VgCand& a, const VgCand& b) {
   return plan_compare(a.plan, b.plan) < 0;
 }
 
+// cand_less over SoA lanes (fast kernel): the same total order, reading one
+// field lane at a time; plan ties resolve by content through the arena's
+// cells, exactly as the AoS form. The two-span form compares element i of
+// span `a` with element j of span `b` (the in-place tail merge reads the
+// buffered tail and the prefix from different storage).
+inline bool soa_cand_less(const CandSpan& a, std::size_t i, const CandSpan& b,
+                          std::size_t j, const PlanArena& arena) {
+  if (a.load[i] != b.load[j]) return a.load[i] < b.load[j];
+  if (a.slack[i] != b.slack[j]) return a.slack[i] > b.slack[j];
+  if (a.noise_slack[i] != b.noise_slack[j])
+    return a.noise_slack[i] > b.noise_slack[j];
+  if (a.current[i] != b.current[j]) return a.current[i] < b.current[j];
+  if (a.dhat[i] != b.dhat[j]) return a.dhat[i] < b.dhat[j];
+  return plan_compare(arena.cell(a.plan[i]), arena.cell(b.plan[j])) < 0;
+}
+
+inline bool soa_cand_less(const CandSpan& s, std::size_t i, std::size_t j,
+                          const PlanArena& arena) {
+  return soa_cand_less(s, i, s, j, arena);
+}
+
 // True when a would-be candidate (load, slack) is dominated by a pruned
 // staircase view: some view entry has load <= `load` and slack >= `slack`.
 // Such a candidate is removed as inferior by the very next prune no matter
@@ -148,6 +170,24 @@ inline bool cand_less(const VgCand& a, const VgCand& b) {
   return lo > 0 && view[lo - 1].slack >= slack;
 }
 
+// Lane form of the same dominance test, for the fast kernel's SoA lists:
+// the staircase view is the first `n` entries of the load and slack lanes.
+[[nodiscard]] inline bool dominated_by_staircase(const double* loads,
+                                                 const double* slacks,
+                                                 std::size_t n, double load,
+                                                 double slack) {
+  std::size_t lo = 0, hi = n;  // lower_bound: first entry with load > `load`
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (loads[mid] <= load) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo > 0 && slacks[lo - 1] >= slack;
+}
+
 // Full structural verification of one post-prune candidate list — the
 // checks that used to live only in tests/test_vg_kernel, promoted into the
 // library so every build at contract level 2 (and every caller that sets
@@ -160,6 +200,12 @@ inline bool cand_less(const VgCand& a, const VgCand& b) {
 // O(n) per call; throws std::logic_error (NBUF_ASSERT) on violation.
 void verify_cand_list(const CandList& list, const VgOptions& opt);
 
+// The same verification over an SoA view (fast kernel): sorted by
+// soa_cand_less, strict Pareto staircase under dominance pruning, no dead
+// candidate under noise constraints. The arena resolves plan ties.
+void verify_cand_list(const CandSpan& view, const VgOptions& opt,
+                      const PlanArena& arena);
+
 // True when the kernels should call verify_cand_list after each step:
 // requested explicitly, or the build carries full structural checks
 // (NBUF_CONTRACTS=2 — the default for Debug and sanitizer builds).
@@ -167,80 +213,95 @@ inline bool verify_lists_enabled(const VgOptions& opt) {
   return NBUF_STRUCTURAL_CHECKS != 0 || opt.check_invariants;
 }
 
-// Buffer-type walk order of the Li–Shi best-predecessor structure: type
-// positions sorted by output resistance descending (ties keep id order).
-// Built once per DP run; BestPredecessors::select must be queried in this
-// order so its hull pointers only ever move forward.
+// Buffer-type walk order of the best-predecessor structure: type positions
+// sorted by output resistance descending (ties keep id order). Built once
+// per DP run; BestPredecessors::select must be queried in this order so
+// each candidate's feasible types form a suffix of the walk and group
+// activation only ever grows.
 struct TypeOrder {
   std::vector<lib::BufferId> ids;  // position -> library id
 
   [[nodiscard]] static TypeOrder make(const lib::BufferLibrary& lib);
 };
 
-// Li–Shi best-predecessor pruning (arXiv:0710.4691, PAPERS.md): the heart
-// of the O(b·n²) multi-type insertion step. For buffer type t with output
-// resistance R the best predecessor in a bucket maximizes q = s − D_t − R·C
-// over the bucket's candidates; on a pruned Pareto staircase (loads and
-// slacks strictly ascending) the maximizer always lies on the upper convex
-// hull of the (load, slack) points, and as R shrinks it only ever moves
-// toward larger loads. prepare() builds that hull once per bucket — with
-// noise/slew constraints on, one hull per group of candidates sharing the
-// same "first feasible type" (feasibility is monotone in R, so each
-// candidate's feasible types are a suffix of the walk order, found by
-// binary search with the kernels' exact predicates) — and select() answers
-// every type's query by a monotone pointer walk: O(m·log b + m + b·G)
-// per bucket against the naive scan's O(b·m), with G = 1 when neither
-// noise nor slew constraints are active.
+// Best-predecessor selection of the multi-type insertion step. For buffer
+// type t with output resistance R the best predecessor in a bucket
+// maximizes q = s − D_t − R·C over the bucket's candidates, first index
+// wins exact ties — the reference kernel's naive scan. prepare() hoists
+// everything about that scan that is bit-exactly precomputable: with
+// noise/slew constraints on, each candidate's feasible types form a SUFFIX
+// of the R-descending walk order (both thresholds are products monotone in
+// R under IEEE rounding), so one binary search per candidate finds its
+// first feasible position and a counting sort groups candidates by it.
+// Candidates feasible for no type are dropped outright (killed()).
+// select_all() then answers EVERY type's query in one candidate-major
+// pass: each candidate's lanes are read once and update one accumulator
+// per type in its feasible suffix — no per-candidate predicate ever runs
+// again, no per-type re-walk of the staircase, and the accumulator update
+// is branch-light (the running best changes only O(log m) times per type
+// on typical staircases).
 //
-// Bit-identity with the naive scan (the reference kernel) is preserved by
-// construction: q is evaluated with the reference's exact expression, the
-// walk advances only on strictly greater q so it stops on the FIRST point
-// of an equal-q plateau (the reference's first-wins tie-break), collinear
-// hull points are kept (an exact tie can only be resolved toward the
-// smaller index if the point is still there), and the feasibility binary
-// search reuses the reference's exact threshold comparisons. Candidates
-// strictly below the hull lose to a hull point at every R, so excluding
-// them can never change the argmax. The one theoretical gap: floating-
-// point q values along a hull are concave only up to rounding, so a walk
-// could in principle stop one ulp early where the naive scan crawls on;
-// tests/test_library_kernel.cpp fuzzes for exactly that.
+// An earlier version of this structure also kept, per group, the upper
+// convex hull of the (load, slack) points and answered queries by a
+// monotone pointer walk — O(m + b) per bucket instead of the scan's
+// O(b·m). In exact arithmetic the argmax always lies on that hull and the
+// walk's first-of-plateau stop reproduces the scan's first-wins tie-break.
+// Under IEEE rounding it does not: two predecessors' q values can round to
+// the SAME bits while only one of them sits on the hull (or while the
+// pointer already passed the earlier one), and the scan then keeps a
+// candidate the walk cannot see — a real plan divergence found by the
+// tests/test_soa_kernel.cpp differential fuzz (DelayOpt, 64-type library:
+// bit-equal q, different predecessor, different final plan). The walk was
+// therefore retired: select_all() evaluates the reference's exact q
+// expression for every feasible (candidate, type) pair and keeps, per
+// type, the minimum index among bit-equal maxima. That is the reference's
+// first-wins result restated order-independently — so the candidate-major
+// visit order (groups back to back, indices interleaving across groups)
+// cannot change any choice — and it costs the same O(b·m) element visits
+// as the reference scan, just arranged so each candidate's lanes are
+// loaded once instead of once per type.
 class BestPredecessors {
  public:
-  // Builds the structure over the first `n` candidates of `cands`, which
-  // must form a pruned Pareto staircase in cand_less order.
-  void prepare(const VgCand* cands, std::size_t n, const VgOptions& opt,
+  // Builds the structure over the candidates of `view` (an SoA lane view,
+  // SoAList::span), which must form a pruned Pareto staircase in cand_less
+  // order. The view's lanes must stay valid until the next prepare().
+  void prepare(const CandSpan& view, const VgOptions& opt,
                const lib::BufferLibrary& lib, const TypeOrder& order);
 
   struct Choice {
-    const VgCand* cand = nullptr;  // best predecessor; null if none feasible
-    double q = 0.0;                // its resulting slack for this type
+    static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::size_t idx = kNone;  // best predecessor's index into the prepared
+                              // view; kNone if none is feasible
+    double q = 0.0;           // its resulting slack for this type
   };
-  // The candidate the naive scan would pick for the type at walk position
-  // `pos` (strictly increasing between prepare() calls).
-  [[nodiscard]] Choice select(const lib::BufferType& type, std::size_t pos);
+  // Fills `out[pos]` with the candidate the naive scan would pick for the
+  // type at walk position `pos`, for every position at once (one
+  // candidate-major pass; out is sized to the walk length).
+  void select_all(const lib::BufferLibrary& lib, const TypeOrder& order,
+                  std::vector<Choice>& out);
 
   // Candidates of the last prepare() that can never be any type's best
-  // predecessor: strictly below their group's hull, or infeasible (noise/
-  // slew) for every type in the library.
+  // predecessor: infeasible (noise/slew) for every type in the library.
   [[nodiscard]] std::size_t killed() const noexcept { return killed_; }
 
  private:
   struct Group {
     std::size_t first_type = 0;  // t_min shared by the group's candidates
-    std::size_t begin = 0;       // [begin, end) into hull_
+    std::size_t begin = 0;       // [begin, end) into sorted_
     std::size_t end = 0;
-    std::size_t ptr = 0;         // monotone walk position
   };
 
-  const VgCand* cands_ = nullptr;
-  std::vector<std::size_t> hull_;   // candidate indices, grouped
-  std::vector<Group> groups_;       // ascending first_type
-  std::size_t active_ = 0;          // groups with first_type <= current pos
+  CandSpan view_;               // lanes of the last prepare()
+  std::vector<Group> groups_;   // ascending first_type
   std::size_t killed_ = 0;
   std::vector<std::size_t> tmin_;    // scratch: per-candidate first type
   std::vector<std::size_t> counts_;  // scratch: counting-sort offsets
-  std::vector<std::size_t> sorted_;  // scratch: candidates grouped by tmin
-  std::vector<std::size_t> stack_;   // scratch: hull build
+  std::vector<std::size_t> sorted_;  // candidates grouped by tmin, index
+                                     // ascending within each group
+  std::vector<double> res_;          // per-walk-pos output resistance
+  std::vector<double> delay_;        // per-walk-pos intrinsic delay
+  std::vector<double> best_q_;       // select_all accumulators
+  std::vector<std::size_t> best_i_;  // (running q max / its min index)
 };
 
 // Per-node memo of the reference DP: lists[v] caches the NodeLists that

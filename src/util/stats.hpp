@@ -34,15 +34,31 @@ struct VgStats {
   std::size_t snapshot_cands_avoided = 0;  // candidates NOT deep-copied at
                                            // buffer insertion (read views)
   std::size_t pool_reuses = 0;  // candidate-list buffers recycled
-  // Li–Shi best-predecessor counters (fast kernel, PR 6). With b buffer
-  // types the naive insertion step scans every candidate once per type
-  // (O(b·m) per bucket); the fast kernel builds one convex-hull structure
-  // per bucket and answers all b queries from it (O(m + b)). These record
-  // how many buckets were prepared and how many candidates the hull proved
-  // can never be any type's best predecessor.
+  // Best-predecessor counters (fast kernel, PR 6). With b buffer types the
+  // naive insertion step re-evaluates noise/slew feasibility for every
+  // candidate once per type; the fast kernel binary-searches each
+  // candidate's first feasible type once per bucket and answers all b
+  // queries with predicate-free scans of the already-feasible groups.
+  // These record how many buckets were prepared and how many candidates
+  // were infeasible for every type (never scanned at all).
   std::size_t bp_prune_calls = 0;        // best-predecessor preparations
-  std::size_t bp_candidates_killed = 0;  // hull-dominated or type-infeasible
+  std::size_t bp_candidates_killed = 0;  // infeasible for every type
   std::size_t lib_types = 0;             // buffer-library size seen (max)
+  // SoA-layout counters (fast kernel, PR 10). Candidate lists live in
+  // structure-of-arrays lane blocks (core/soa.hpp) whose hot loops run as
+  // vectorizable sweeps (core/soa_sweeps.hpp); these describe how that
+  // layout behaved. All are pure functions of the input net and the
+  // options — identical at any thread count and in both simd modes (the
+  // lane-utilization split counts what a vector unit of kSimdLanes would
+  // process in full vectors vs the scalar epilogue, whether or not the
+  // sweep actually ran vectorized).
+  std::size_t soa_block_reuses = 0;     // SoA lane blocks recycled (pool)
+  std::size_t soa_flush_elems = 0;      // candidates updated by wire
+                                        // flushes (width = /offset_flushes)
+  std::size_t soa_full_lane_elems = 0;  // sweep elements in full vectors
+  std::size_t soa_tail_elems = 0;       // sweep elements in scalar tails
+  std::size_t soa_prunes_no_move = 0;   // prunes that killed nothing and
+                                        // skipped compaction entirely
 
   // Per-phase wall time (seconds); zero unless timing was requested.
   double wire_seconds = 0.0;    // extend-candidates-through-wire phase
@@ -66,6 +82,11 @@ struct VgStats {
     bp_prune_calls += o.bp_prune_calls;
     bp_candidates_killed += o.bp_candidates_killed;
     lib_types = lib_types < o.lib_types ? o.lib_types : lib_types;
+    soa_block_reuses += o.soa_block_reuses;
+    soa_flush_elems += o.soa_flush_elems;
+    soa_full_lane_elems += o.soa_full_lane_elems;
+    soa_tail_elems += o.soa_tail_elems;
+    soa_prunes_no_move += o.soa_prunes_no_move;
     wire_seconds += o.wire_seconds;
     buffer_seconds += o.buffer_seconds;
     merge_seconds += o.merge_seconds;
@@ -88,7 +109,12 @@ struct VgStats {
            pool_reuses == o.pool_reuses &&
            bp_prune_calls == o.bp_prune_calls &&
            bp_candidates_killed == o.bp_candidates_killed &&
-           lib_types == o.lib_types;
+           lib_types == o.lib_types &&
+           soa_block_reuses == o.soa_block_reuses &&
+           soa_flush_elems == o.soa_flush_elems &&
+           soa_full_lane_elems == o.soa_full_lane_elems &&
+           soa_tail_elems == o.soa_tail_elems &&
+           soa_prunes_no_move == o.soa_prunes_no_move;
   }
 };
 

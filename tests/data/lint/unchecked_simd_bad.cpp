@@ -1,0 +1,14 @@
+namespace nbuf {
+void scale(double* x, int n) {
+#pragma omp simd
+  for (int i = 0; i < n; ++i) x[i] *= 2.0;
+}
+void offset(double* x, int n) {
+  _Pragma("omp simd")
+  for (int i = 0; i < n; ++i) x[i] += 1.0;
+}
+void reduce(double* x, double* acc, int n) {
+#pragma omp simd reduction(+ : acc[0])
+  for (int i = 0; i < n; ++i) acc[0] += x[i];
+}
+}  // namespace nbuf

@@ -1,0 +1,16 @@
+namespace nbuf {
+// A mention in a comment is not a pragma: #pragma omp simd.
+const char* kDoc = "#pragma omp simd";          // nor in a string
+const char* kDoc2 = "_Pragma(\"omp simd\")";    // nor the operator form
+void plain(double* x, int n) {
+  for (int i = 0; i < n; ++i) x[i] *= 2.0;  // plain loop: fine
+}
+void unrelated(double* x, int n) {
+#pragma GCC unroll 4
+  for (int i = 0; i < n; ++i) x[i] += 1.0;  // non-omp pragma: fine
+}
+void audited(double* x, int n) {
+#pragma omp simd  // nbuf-lint: allow(unchecked-simd)
+  for (int i = 0; i < n; ++i) x[i] *= 0.5;
+}
+}  // namespace nbuf

@@ -282,6 +282,28 @@ TEST(LintRules, WallclockOnlyGatesTheNumericCore) {
                   {});
 }
 
+TEST(LintRules, UncheckedSimdSeeded) {
+  // Both spellings: the #pragma directive (with and without clauses) and
+  // the _Pragma operator form a wrapper macro expands to.
+  expect_findings(lint_fixture("unchecked_simd_bad.cpp", "src/obs/fixture.cpp"),
+                  {{3, "unchecked-simd"},
+                   {7, "unchecked-simd"},
+                   {11, "unchecked-simd"}});
+}
+TEST(LintRules, UncheckedSimdCleanCommentsStringsAndSuppression) {
+  expect_findings(
+      lint_fixture("unchecked_simd_clean.cpp", "src/obs/fixture.cpp"), {});
+}
+TEST(LintRules, UncheckedSimdExemptsTheSweepHome) {
+  // src/core/soa_sweeps.hpp is where the audited sweeps live; the same
+  // pragmas are fine there (and outside src/ entirely).
+  expect_findings(
+      lint_fixture("unchecked_simd_bad.cpp", "src/core/soa_sweeps.hpp"),
+      {{1, "pragma-once"}});  // .cpp fixture at a .hpp path; header rule only
+  expect_findings(
+      lint_fixture("unchecked_simd_bad.cpp", "bench/fixture.cpp"), {});
+}
+
 TEST(LintRules, MutableGlobalSeeded) {
   expect_findings(
       lint_fixture("mutable_global_bad.cpp", "src/obs/fixture.cpp"),

@@ -398,11 +398,11 @@ TEST(LibraryProperties, InvertedSinkNeedsAnInverter) {
 }
 
 TEST(LibraryProperties, BestPredecessorMatchesNaiveScanOnRandomStaircases) {
-  // Li–Shi pruning soundness, isolated from the DP: on random Pareto
-  // staircases the hull walk must return exactly the candidate the
-  // reference kernel's first-wins linear scan would pick, for every type,
-  // under every feasibility-predicate combination. `q` must match bitwise
-  // (same expression, same operand order).
+  // Best-predecessor soundness, isolated from the DP: on random Pareto
+  // staircases the feasibility-grouped scan must return exactly the
+  // candidate the reference kernel's first-wins linear scan would pick,
+  // for every type, under every feasibility-predicate combination. `q`
+  // must match bitwise (same expression, same operand order).
   util::Rng rng(0xC0DE5);
   for (int trial = 0; trial < 160; ++trial) {
     SCOPED_TRACE("trial " + std::to_string(trial));
@@ -414,47 +414,50 @@ TEST(LibraryProperties, BestPredecessorMatchesNaiveScanOnRandomStaircases) {
     opt.noise_constraints = (trial % 2 == 0);
     if (trial % 3 == 0) opt.max_slew = rng.uniform(80.0, 400.0) * ps;
 
-    // A strict Pareto staircase: loads and slacks strictly ascend.
-    core::detail::CandList cands;
+    // A strict Pareto staircase: loads and slacks strictly ascend. Built
+    // directly in SoA lanes, the form the fast kernel consumes.
+    core::SoAList cands;
     double load = rng.uniform(1.0, 30.0) * fF;
     double slack = rng.uniform(-800.0, 0.0) * ps;
     const std::size_t m = 1 + static_cast<std::size_t>(rng.uniform_int(0, 39));
     for (std::size_t i = 0; i < m; ++i) {
-      core::detail::VgCand c;
-      c.load = load;
-      c.slack = slack;
-      c.current = rng.uniform(0.0, 120.0) * uA;
-      c.noise_slack = rng.uniform(0.0, 0.9);
-      c.dhat = rng.uniform(0.0, 300.0) * ps;
-      cands.push_back(c);
+      cands.push_back(load, slack, rng.uniform(0.0, 120.0) * uA,
+                      rng.uniform(0.0, 0.9), rng.uniform(0.0, 300.0) * ps,
+                      core::kNullPlan);
       load += rng.uniform(0.5, 40.0) * fF;
       slack += rng.uniform(1.0, 120.0) * ps;
     }
+    const core::CandSpan view = cands.span();
 
     const core::detail::TypeOrder order = core::detail::TypeOrder::make(library);
     core::detail::BestPredecessors bp;
-    bp.prepare(cands.data(), cands.size(), opt, library, order);
+    bp.prepare(view, opt, library, order);
+    std::vector<core::detail::BestPredecessors::Choice> choices;
+    bp.select_all(library, order, choices);
+    ASSERT_EQ(choices.size(), order.ids.size());
 
     for (std::size_t pos = 0; pos < order.ids.size(); ++pos) {
       const lib::BufferType& b = library.at(order.ids[pos]);
       // The reference kernel's scan, verbatim predicates and tie-break.
-      const core::detail::VgCand* best = nullptr;
+      std::size_t best = core::detail::BestPredecessors::Choice::kNone;
       double best_q = -std::numeric_limits<double>::infinity();
-      for (const core::detail::VgCand& c : cands) {
-        if (opt.noise_constraints && b.resistance * c.current > c.noise_slack)
+      for (std::size_t i = 0; i < view.n; ++i) {
+        if (opt.noise_constraints &&
+            b.resistance * view.current[i] > view.noise_slack[i])
           continue;
-        if (elmore::kSlewFactor * (b.resistance * c.load + c.dhat) >
+        if (elmore::kSlewFactor * (b.resistance * view.load[i] + view.dhat[i]) >
             opt.max_slew)
           continue;
-        const double q = c.slack - b.intrinsic_delay - b.resistance * c.load;
+        const double q =
+            view.slack[i] - b.intrinsic_delay - b.resistance * view.load[i];
         if (q > best_q) {
           best_q = q;
-          best = &c;
+          best = i;
         }
       }
-      const auto choice = bp.select(b, pos);
-      EXPECT_EQ(choice.cand, best) << "type walk position " << pos;
-      if (best != nullptr) {
+      const auto& choice = choices[pos];
+      EXPECT_EQ(choice.idx, best) << "type walk position " << pos;
+      if (best != core::detail::BestPredecessors::Choice::kNone) {
         EXPECT_EQ(choice.q, best_q);
       }
     }

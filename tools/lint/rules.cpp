@@ -24,6 +24,7 @@ struct FileView {
   bool in_src = false;
   bool numeric_src = false;    // src/noise|elmore|core|sim (no-float)
   bool wallclock_src = false;  // src/core|noise|elmore (wallclock-in-core)
+  bool simd_home = false;      // src/core/soa_sweeps.hpp (unchecked-simd)
   bool sort_whitelisted = false;
   bool annotation_header = false;
   bool is_header = false;
@@ -70,6 +71,7 @@ FileView make_view(const FileInput& in, std::vector<Finding>& findings) {
   v.wallclock_src = starts_with(rel, "src/core/") ||
                     starts_with(rel, "src/noise/") ||
                     starts_with(rel, "src/elmore/");
+  v.simd_home = rel == "src/core/soa_sweeps.hpp";
   v.sort_whitelisted = rel == "src/core/vanginneken.cpp";
   v.annotation_header = rel == "src/util/thread_annotations.hpp";
   v.is_header = rel.size() > 4 && rel.substr(rel.size() - 4) == ".hpp";
@@ -266,6 +268,39 @@ void rule_wallclock_in_core(FileView& v) {
   }
 }
 
+// Vectorization pragmas outside their audited home. `omp simd` asserts
+// iteration independence the compiler cannot check; a wrong assertion
+// silently reorders floating-point work and breaks the fast kernel's
+// bit-identity contract. All such sweeps live in src/core/soa_sweeps.hpp,
+// where every body is elementwise by construction and the scalar-vs-SIMD
+// self-differential of tests/test_soa_kernel locks the contract down —
+// anywhere else under src/ the pragma is an unchecked claim.
+void rule_unchecked_simd(FileView& v) {
+  if (!v.in_src || v.simd_home) return;
+  const std::vector<Token>& c = v.code;
+  constexpr std::string_view kMsg =
+      "omp simd pragma outside src/core/soa_sweeps.hpp; vectorized sweeps "
+      "belong there, where the elementwise contract is enforced by the "
+      "test_soa_kernel scalar-vs-SIMD self-differential";
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    // Directive form: #pragma omp simd (with or without clauses after).
+    if (c[i].in_directive && is(&c[i], "#") &&
+        is_ident(at(c, i + 1), "pragma") && is_ident(at(c, i + 2), "omp") &&
+        is_ident(at(c, i + 3), "simd")) {
+      v.flag(c[i].line, "unchecked-simd", std::string(kMsg));
+      continue;
+    }
+    // Operator form: _Pragma("omp simd") — what a wrapper macro like
+    // NBUF_SIMD_PRAGMA expands to.
+    if (is_ident(&c[i], "_Pragma") && is(at(c, i + 1), "(")) {
+      const Token* s = at(c, i + 2);
+      if (s != nullptr && s->kind == Tok::String &&
+          s->text.find("omp simd") != std::string_view::npos)
+        v.flag(c[i].line, "unchecked-simd", std::string(kMsg));
+    }
+  }
+}
+
 // Namespace-scope mutable state. Walks the token stream with a scope
 // stack; anything inside a non-namespace brace pair (function bodies,
 // classes, initializers) is skipped wholesale, so only true file/namespace
@@ -373,6 +408,7 @@ std::vector<Finding> lint_file(const FileInput& in) {
   rule_unordered_iter(v);
   rule_raw_lock(v);
   rule_wallclock_in_core(v);
+  rule_unchecked_simd(v);
   rule_mutable_global(v);
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
